@@ -1,0 +1,65 @@
+// Ablation A1 (beyond the paper): does the ordering effect survive under
+// histogram construction policies other than V-optimal?
+//
+// Sweeps every histogram type x every ordering method (plus the ideal
+// baseline) on the Moreno-like dataset at k = 4 with a mid-range bucket
+// budget, reporting mean |err|. The paper's claim is about DOMAIN ORDERING;
+// if it is fundamental, sum-based should lead for any reasonable bucketing
+// policy, with the gap largest for cheap policies (equi-width).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/experiment.h"
+#include "core/report.h"
+#include "ordering/factory.h"
+
+namespace pathest {
+namespace {
+
+int Run() {
+  const size_t k = bench::SizeFromEnv("PATHEST_K", 4);
+  Graph graph = bench::BuildBenchDataset(DatasetId::kMorenoHealth);
+  SelectivityMap map = bench::ComputeWithProgress(graph, k, "moreno");
+
+  PathSpace space(graph.num_labels(), k);
+  const size_t beta = space.size() / 16;
+
+  std::vector<std::string> methods = PaperOrderingNames();
+  methods.push_back("ideal");
+
+  const std::vector<HistogramType> types = {
+      HistogramType::kEquiWidth, HistogramType::kEquiDepth,
+      HistogramType::kVOptimal, HistogramType::kMaxDiff,
+      HistogramType::kEndBiased};
+
+  std::vector<std::string> header = {"histogram"};
+  for (const auto& m : methods) header.push_back(m);
+  ReportTable table(header);
+
+  for (HistogramType type : types) {
+    std::vector<std::string> row = {HistogramTypeName(type)};
+    for (const auto& method : methods) {
+      auto result = MeasureAccuracy(graph, map, method, k, beta, type);
+      bench::DieIf(result.status(), method.c_str());
+      row.push_back(FormatDouble(result->errors.mean_abs_error, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+
+  std::printf("Ablation A1: mean error rate by histogram type x ordering "
+              "(moreno-like, k=%zu, beta=%zu, |L_k|=%llu)\n\n%s\n",
+              k, beta, static_cast<unsigned long long>(space.size()),
+              table.ToString().c_str());
+  bench::DieIf(table.WriteCsv("ablation_histograms.csv"), "csv");
+  std::printf("expected shape: sum-based leads every row; ideal is the "
+              "floor; the ordering gap narrows for v-optimal (which can "
+              "rescue bad orderings with adaptive boundaries).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathest
+
+int main() { return pathest::Run(); }

@@ -1,0 +1,88 @@
+// Microbenchmark M1 (google-benchmark): rank/unrank throughput per ordering
+// method. This isolates the cost difference Table 4 attributes to the
+// sum-based (un)ranking functions.
+
+#include <benchmark/benchmark.h>
+
+#include "gen/datasets.h"
+#include "ordering/factory.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pathest {
+namespace {
+
+// Shared fixture state: a moreno-shaped label set (6 labels, skewed
+// cardinalities) at k = 6. Built once.
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    auto g = BuildDataset(DatasetId::kMorenoHealth, 0.25, 42);
+    PATHEST_CHECK(g.ok(), "dataset build failed");
+    return new Graph(std::move(*g));
+  }();
+  return *graph;
+}
+
+OrderingPtr BenchOrdering(const std::string& name, size_t k) {
+  auto ordering = MakeOrdering(name, BenchGraph(), k);
+  PATHEST_CHECK(ordering.ok(), "ordering build failed");
+  return std::move(*ordering);
+}
+
+void BM_Unrank(benchmark::State& state, const std::string& name) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  OrderingPtr ordering = BenchOrdering(name, k);
+  Rng rng(7);
+  std::vector<uint64_t> indexes(1024);
+  for (auto& i : indexes) i = rng.NextBounded(ordering->size());
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ordering->Unrank(indexes[cursor]));
+    cursor = (cursor + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Rank(benchmark::State& state, const std::string& name) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  OrderingPtr ordering = BenchOrdering(name, k);
+  Rng rng(7);
+  std::vector<LabelPath> paths;
+  for (int i = 0; i < 1024; ++i) {
+    paths.push_back(
+        ordering->space().CanonicalPath(rng.NextBounded(ordering->size())));
+  }
+  size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ordering->Rank(paths[cursor]));
+    cursor = (cursor + 1) & 1023;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RegisterAll() {
+  for (const char* name :
+       {"num-alph", "num-card", "lex-alph", "lex-card", "sum-based"}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Rank/") + name).c_str(),
+        [name](benchmark::State& s) { BM_Rank(s, name); })
+        ->Arg(3)
+        ->Arg(6);
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Unrank/") + name).c_str(),
+        [name](benchmark::State& s) { BM_Unrank(s, name); })
+        ->Arg(3)
+        ->Arg(6);
+  }
+}
+
+}  // namespace
+}  // namespace pathest
+
+int main(int argc, char** argv) {
+  pathest::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Microbenchmark M2 (google-benchmark): throughput of the exact selectivity
+// evaluator and of histogram construction, the two build-time costs of the
+// pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/distribution.h"
+#include "gen/datasets.h"
+#include "histogram/builders.h"
+#include "ordering/factory.h"
+#include "path/selectivity.h"
+#include "util/status.h"
+
+namespace pathest {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    auto g = BuildDataset(DatasetId::kMorenoHealth, 0.25, 42);
+    PATHEST_CHECK(g.ok(), "dataset build failed");
+    return new Graph(std::move(*g));
+  }();
+  return *graph;
+}
+
+void BM_ComputeSelectivities(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto map = ComputeSelectivities(BenchGraph(), k);
+    PATHEST_CHECK(map.ok(), "selectivity failed");
+    benchmark::DoNotOptimize(map->Total());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(PathSpace(6, k).size()));
+}
+BENCHMARK(BM_ComputeSelectivities)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+
+const std::vector<uint64_t>& BenchDistribution() {
+  static const std::vector<uint64_t>* dist = [] {
+    auto map = ComputeSelectivities(BenchGraph(), 5);
+    PATHEST_CHECK(map.ok(), "selectivity failed");
+    auto ordering = MakeOrdering("sum-based", BenchGraph(), 5);
+    PATHEST_CHECK(ordering.ok(), "ordering failed");
+    auto d = BuildDistribution(*map, **ordering);
+    PATHEST_CHECK(d.ok(), "distribution failed");
+    return new std::vector<uint64_t>(std::move(*d));
+  }();
+  return *dist;
+}
+
+void BM_BuildHistogram(benchmark::State& state, HistogramType type) {
+  const auto& dist = BenchDistribution();
+  const size_t beta = dist.size() / static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto h = BuildHistogram(type, dist, beta);
+    PATHEST_CHECK(h.ok(), "histogram failed");
+    benchmark::DoNotOptimize(h->TotalSse());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(dist.size()));
+}
+
+void RegisterHistogramBenches() {
+  struct Entry {
+    const char* name;
+    HistogramType type;
+  };
+  for (Entry e : {Entry{"equi-width", HistogramType::kEquiWidth},
+                  Entry{"equi-depth", HistogramType::kEquiDepth},
+                  Entry{"v-optimal-greedy", HistogramType::kVOptimal},
+                  Entry{"maxdiff", HistogramType::kMaxDiff},
+                  Entry{"end-biased", HistogramType::kEndBiased}}) {
+    benchmark::RegisterBenchmark(
+        (std::string("BM_BuildHistogram/") + e.name).c_str(),
+        [type = e.type](benchmark::State& s) { BM_BuildHistogram(s, type); })
+        ->Arg(4)
+        ->Arg(64);
+  }
+}
+
+}  // namespace
+}  // namespace pathest
+
+int main(int argc, char** argv) {
+  pathest::RegisterHistogramBenches();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

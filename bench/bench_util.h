@@ -1,0 +1,69 @@
+// Shared helpers for the paper-table bench binaries.
+
+#ifndef PATHEST_BENCH_BENCH_UTIL_H_
+#define PATHEST_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "path/selectivity.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace pathest {
+namespace bench {
+
+// Terminates the process with a message when a Status/Result failed; benches
+// have no meaningful recovery path.
+inline void DieIf(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench failed at %s: %s\n", what,
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+// Builds a canned dataset at the PATHEST_SCALE env scale (default: the
+// paper's full size) and logs its actual shape.
+inline Graph BuildBenchDataset(DatasetId id, uint64_t seed = 42) {
+  double scale = ScaleFromEnv();
+  auto graph = BuildDataset(id, scale, seed);
+  DieIf(graph.status(), "dataset generation");
+  return std::move(graph).ValueOrDie();
+}
+
+// Computes exact selectivities with a progress line per root label.
+inline SelectivityMap ComputeWithProgress(const Graph& graph, size_t k,
+                                          const std::string& name) {
+  Timer timer;
+  SelectivityOptions options;
+  options.progress = [&](LabelId root) {
+    PATHEST_LOG(Info) << name << ": selectivity root label " << (root + 1)
+                      << "/" << graph.num_labels() << " done ("
+                      << static_cast<int>(timer.ElapsedSeconds()) << "s)";
+  };
+  auto map = ComputeSelectivities(graph, k, options);
+  DieIf(map.status(), "selectivity computation");
+  PATHEST_LOG(Info) << name << ": exact selectivities for k=" << k
+                    << " computed in " << timer.ElapsedSeconds() << "s";
+  return std::move(map).ValueOrDie();
+}
+
+// Reads a size_t env override (e.g. PATHEST_KMAX), with default.
+inline size_t SizeFromEnv(const char* name, size_t def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) return def;
+  return static_cast<size_t>(v);
+}
+
+}  // namespace bench
+}  // namespace pathest
+
+#endif  // PATHEST_BENCH_BENCH_UTIL_H_

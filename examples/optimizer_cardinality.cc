@@ -1,0 +1,101 @@
+// Optimizer demo: path histograms driving a (toy) query optimizer.
+//
+// A path query l1/l2/.../lk can be evaluated left-to-right or right-to-left
+// (and real engines split anywhere in between). The sane heuristic is to
+// start from the MOST SELECTIVE (lowest-cardinality) end. This example uses
+// a pathest histogram as the optimizer's statistics module, decides a
+// direction for a workload of queries, and scores the decisions against the
+// decisions an oracle with exact statistics would make.
+//
+// This is precisely the downstream consumer the paper's introduction
+// motivates: "query optimizers rely on accurate data statistics for
+// cardinality estimation during plan generation".
+//
+// Run:  ./optimizer_cardinality
+
+#include <cstdio>
+#include <string>
+
+#include "core/path_histogram.h"
+#include "core/workload.h"
+#include "gen/datasets.h"
+#include "ordering/factory.h"
+#include "path/selectivity.h"
+
+using namespace pathest;  // NOLINT — example code favors brevity
+
+namespace {
+
+// Direction choice: compare the cardinality of the first vs last label-path
+// half; evaluate from the smaller side.
+enum class Direction { kLeftToRight, kRightToLeft };
+
+template <typename EstimateFn>
+Direction ChooseDirection(const LabelPath& query, EstimateFn est) {
+  size_t half = query.length() / 2;
+  if (half == 0) return Direction::kLeftToRight;
+  LabelPath prefix = query.Prefix(half);
+  LabelPath suffix = query.Suffix(query.length() - half);
+  return est(prefix) <= est(suffix) ? Direction::kLeftToRight
+                                    : Direction::kRightToLeft;
+}
+
+}  // namespace
+
+int main() {
+  auto graph = BuildDataset(DatasetId::kMorenoHealth, 0.25, 42);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const size_t k = 4;
+  auto truth = ComputeSelectivities(*graph, k);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  PathSpace space(graph->num_labels(), k);
+  const size_t beta = space.size() / 32;  // tight statistics budget
+
+  std::printf("toy optimizer on moreno-like data, k=%zu, stats budget "
+              "beta=%zu of %llu domain positions\n\n",
+              k, beta, static_cast<unsigned long long>(space.size()));
+  std::printf("%-10s %22s %22s\n", "ordering", "direction agreement",
+              "(vs exact-stats oracle)");
+
+  // Queries: all length-3.. 4 paths that actually return results.
+  std::vector<LabelPath> workload;
+  for (const LabelPath& p : NonEmptyWorkload(*truth)) {
+    if (p.length() >= 3) workload.push_back(p);
+  }
+
+  auto oracle = [&](const LabelPath& p) {
+    return static_cast<double>(truth->Get(p));
+  };
+
+  for (const std::string& method : PaperOrderingNames()) {
+    auto ordering = MakeOrdering(method, *graph, k);
+    if (!ordering.ok()) continue;
+    auto estimator = PathHistogram::Build(*truth, std::move(*ordering),
+                                          HistogramType::kVOptimal, beta);
+    if (!estimator.ok()) continue;
+
+    size_t agree = 0;
+    for (const LabelPath& q : workload) {
+      Direction by_hist = ChooseDirection(
+          q, [&](const LabelPath& p) { return estimator->Estimate(p); });
+      Direction by_oracle = ChooseDirection(q, oracle);
+      agree += (by_hist == by_oracle);
+    }
+    std::printf("%-10s %9zu / %-10zu %.1f%%\n", method.c_str(), agree,
+                workload.size(),
+                100.0 * static_cast<double>(agree) /
+                    static_cast<double>(workload.size()));
+  }
+
+  std::printf("\nbetter domain orderings make the same join-direction "
+              "choices as exact statistics more often — the planning wins "
+              "the paper's estimator accuracy buys.\n");
+  return 0;
+}

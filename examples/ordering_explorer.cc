@@ -1,0 +1,82 @@
+// Ordering explorer: visualize what each domain ordering does to a dataset's
+// path-frequency distribution.
+//
+// For a chosen dataset and k, prints per ordering method: the first few
+// domain positions (index -> path -> f), and the distribution profile —
+// most importantly the TOTAL VARIATION sum |D[i+1] - D[i]|, the quantity
+// domain reordering tries to minimize (smoother distribution = tighter
+// buckets = lower estimation error).
+//
+// Run:  ./ordering_explorer [dataset] [k]
+//       dataset in {moreno, dbpedia, snap-er, snap-ff}, default moreno
+//       k default 3
+
+#include <cstdio>
+#include <string>
+
+#include "core/distribution.h"
+#include "gen/datasets.h"
+#include "ordering/factory.h"
+#include "ordering/ideal.h"
+#include "path/selectivity.h"
+
+using namespace pathest;  // NOLINT — example code favors brevity
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "moreno";
+  const size_t k = argc > 2 ? std::stoul(argv[2]) : 3;
+
+  auto spec = FindDatasetSpec(dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s' (try moreno, dbpedia, "
+                 "snap-er, snap-ff)\n", dataset.c_str());
+    return 1;
+  }
+  // Scale 0.25 keeps the example interactive; pass PATHEST_SCALE-style full
+  // runs to the bench binaries instead.
+  auto graph = BuildDataset(spec->id, 0.25, 42);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto truth = ComputeSelectivities(*graph, k);
+  if (!truth.ok()) {
+    std::fprintf(stderr, "%s\n", truth.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("dataset %s (0.25 scale): |V|=%zu |E|=%zu |L|=%zu, k=%zu, "
+              "|L_k|=%llu\n\n",
+              dataset.c_str(), graph->num_vertices(), graph->num_edges(),
+              graph->num_labels(), k,
+              static_cast<unsigned long long>(truth->space().size()));
+
+  auto methods = PaperOrderingNames();
+  methods.push_back("ideal");
+  for (const std::string& method : methods) {
+    auto ordering =
+        MakeOrderingWithSelectivities(method, *graph, k, *truth);
+    if (!ordering.ok()) {
+      std::fprintf(stderr, "%s: %s\n", method.c_str(),
+                   ordering.status().ToString().c_str());
+      continue;
+    }
+    auto dist = BuildDistribution(*truth, **ordering);
+    if (!dist.ok()) continue;
+    DistributionProfile profile = ProfileDistribution(*dist);
+
+    std::printf("== %-10s  total-variation %.3g  (variance %.3g)\n",
+                method.c_str(), profile.total_variation, profile.variance);
+    std::printf("   first positions: ");
+    for (uint64_t i = 0; i < 8 && i < dist->size(); ++i) {
+      std::printf("%s=%llu ",
+                  (*ordering)->Unrank(i).ToString(graph->labels()).c_str(),
+                  static_cast<unsigned long long>((*dist)[i]));
+    }
+    std::printf("\n\n");
+  }
+  std::printf("lower total variation means label paths with similar "
+              "cardinality sit next to each other — the goal of domain "
+              "reordering (ideal is the floor).\n");
+  return 0;
+}

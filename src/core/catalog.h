@@ -1,0 +1,97 @@
+// pathest: the statistics catalog — the integration surface a database
+// engine would actually program against.
+//
+// A StatisticsCatalog owns path statistics for one graph: it computes the
+// exact selectivities once (ANALYZE), builds one estimator per requested
+// configuration, serves estimates, tracks data staleness, and persists /
+// restores itself. This is the "statistics module" slot of the optimizer
+// architecture the paper's introduction targets.
+
+#ifndef PATHEST_CORE_CATALOG_H_
+#define PATHEST_CORE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/path_histogram.h"
+#include "graph/graph.h"
+#include "path/selectivity.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Configuration of one catalog entry.
+struct CatalogEntryConfig {
+  /// Ordering method name (MakeOrdering names).
+  std::string ordering = "sum-based";
+  HistogramType histogram_type = HistogramType::kVOptimal;
+  size_t num_buckets = 256;
+};
+
+/// \brief Path-statistics catalog for a single graph.
+class StatisticsCatalog {
+ public:
+  /// \brief Runs ANALYZE: computes exact selectivities up to `k` and
+  /// remembers the graph's label statistics. The graph must outlive the
+  /// catalog.
+  static Result<StatisticsCatalog> Analyze(
+      const Graph& graph, size_t k,
+      const SelectivityOptions& options = SelectivityOptions{});
+
+  /// \brief Builds (or replaces) the estimator for `name`.
+  Status BuildEstimator(const std::string& name,
+                        const CatalogEntryConfig& config);
+
+  /// \brief The estimator registered under `name`; NotFound otherwise.
+  Result<const PathHistogram*> GetEstimator(const std::string& name) const;
+
+  /// \brief Estimate via a registered estimator.
+  Result<double> Estimate(const std::string& name,
+                          const LabelPath& path) const;
+
+  /// \brief Exact selectivity from the ANALYZE pass (for validation).
+  uint64_t ExactSelectivity(const LabelPath& path) const;
+
+  /// \brief Names of all registered estimators, sorted.
+  std::vector<std::string> EstimatorNames() const;
+
+  /// \brief Records data-change events (edge insertions/deletions) since
+  /// ANALYZE; drives staleness reporting.
+  void RecordDataChanges(uint64_t num_changes);
+
+  /// \brief Fraction of changed edges since ANALYZE: changes / |E|.
+  /// An engine would re-ANALYZE past a threshold (e.g. 0.1).
+  double Staleness() const;
+
+  /// \brief True when staleness exceeds `threshold`.
+  bool NeedsRefresh(double threshold = 0.1) const {
+    return Staleness() > threshold;
+  }
+
+  /// \brief The ANALYZE-time selectivities.
+  const SelectivityMap& selectivities() const { return *selectivities_; }
+
+  size_t k() const { return selectivities_->space().k(); }
+
+  /// \brief Persists every serializable estimator to `<dir>/<name>.stats`.
+  /// Non-serializable entries (ideal/random/sum-L2) are skipped and
+  /// reported in `skipped`.
+  Status SaveAll(const std::string& dir,
+                 std::vector<std::string>* skipped = nullptr) const;
+
+ private:
+  StatisticsCatalog(const Graph* graph,
+                    std::unique_ptr<SelectivityMap> selectivities);
+
+  const Graph* graph_;
+  std::unique_ptr<SelectivityMap> selectivities_;
+  std::map<std::string, std::unique_ptr<PathHistogram>> estimators_;
+  uint64_t analyzed_edges_ = 0;
+  uint64_t data_changes_ = 0;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_CATALOG_H_

@@ -1,0 +1,53 @@
+#include "core/error.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/status.h"
+
+namespace pathest {
+
+double SignedErrorRate(double estimate, double truth) {
+  if (estimate == truth) return 0.0;
+  return (estimate - truth) / std::max(estimate, truth);
+}
+
+double AbsoluteErrorRate(double estimate, double truth) {
+  return std::abs(SignedErrorRate(estimate, truth));
+}
+
+double QError(double estimate, double truth) {
+  double lo = std::min(estimate, truth);
+  double hi = std::max(estimate, truth);
+  if (hi == 0.0) return 1.0;
+  if (lo == 0.0) return hi;
+  return hi / lo;
+}
+
+ErrorSummary SummarizeErrors(std::vector<double> abs_errors) {
+  ErrorSummary summary;
+  summary.num_queries = abs_errors.size();
+  if (abs_errors.empty()) return summary;
+  double sum = 0.0;
+  uint64_t exact = 0;
+  for (double e : abs_errors) {
+    PATHEST_CHECK(e >= 0.0, "absolute error must be non-negative");
+    sum += e;
+    if (e == 0.0) ++exact;
+    summary.max_abs_error = std::max(summary.max_abs_error, e);
+  }
+  summary.mean_abs_error = sum / static_cast<double>(abs_errors.size());
+  summary.exact_fraction =
+      static_cast<double>(exact) / static_cast<double>(abs_errors.size());
+  std::sort(abs_errors.begin(), abs_errors.end());
+  auto quantile = [&](double q) {
+    size_t pos = static_cast<size_t>(q * static_cast<double>(
+                                             abs_errors.size() - 1));
+    return abs_errors[pos];
+  };
+  summary.median_abs_error = quantile(0.5);
+  summary.p90_abs_error = quantile(0.9);
+  return summary;
+}
+
+}  // namespace pathest

@@ -1,0 +1,40 @@
+// pathest: estimation error metrics (paper Formula 6 and aggregates).
+
+#ifndef PATHEST_CORE_ERROR_H_
+#define PATHEST_CORE_ERROR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pathest {
+
+/// \brief The paper's err(ℓ) metric (Formula 6):
+///   0 when e == f, otherwise (e - f) / max(e, f), in (-1, 1).
+/// Sign encodes over- (positive) vs under-estimation.
+double SignedErrorRate(double estimate, double truth);
+
+/// \brief |err(ℓ)| — the quantity averaged in the paper's Figure 2.
+double AbsoluteErrorRate(double estimate, double truth);
+
+/// \brief Q-error: max(e, f) / min(e, f), with the usual epsilon-free
+/// convention q = max(e, f) when the smaller side is zero and 1 when both
+/// are. Provided for cross-literature comparison; not used by the paper.
+double QError(double estimate, double truth);
+
+/// \brief Aggregate statistics over a set of per-query absolute error rates.
+struct ErrorSummary {
+  uint64_t num_queries = 0;
+  double mean_abs_error = 0.0;
+  double median_abs_error = 0.0;
+  double p90_abs_error = 0.0;
+  double max_abs_error = 0.0;
+  /// Fraction of queries with exactly zero error.
+  double exact_fraction = 0.0;
+};
+
+/// \brief Summarizes a vector of absolute error rates (values in [0, 1]).
+ErrorSummary SummarizeErrors(std::vector<double> abs_errors);
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_ERROR_H_

@@ -1,0 +1,68 @@
+// pathest: the experiment runner — shared machinery behind the paper-table
+// benches and the examples.
+
+#ifndef PATHEST_CORE_EXPERIMENT_H_
+#define PATHEST_CORE_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/path_histogram.h"
+#include "graph/graph.h"
+#include "histogram/builders.h"
+#include "path/selectivity.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief The paper's bucket-budget sweep: n/2, n/4, ..., halving for
+/// `levels` steps (Table 4 uses n = 55 996 -> 27993 ... 437 with 7 levels).
+std::vector<size_t> BetaSweep(uint64_t domain_size, size_t levels);
+
+/// \brief One accuracy measurement (a point of the paper's Figure 2).
+struct AccuracyResult {
+  std::string ordering;
+  size_t k = 0;
+  size_t beta = 0;
+  /// Aggregated |err| over every path in L_k (Formula 6).
+  ErrorSummary errors;
+  /// Total within-bucket SSE of the built histogram (V-optimal objective).
+  double sse = 0.0;
+  /// Histogram construction time, milliseconds.
+  double build_ms = 0.0;
+};
+
+/// \brief Accuracy of one (ordering, k, beta, histogram type) cell.
+///
+/// `selectivities` must cover k. Ordering names accepted by
+/// MakeOrderingWithSelectivities are allowed ("ideal", "sum-L2" included).
+Result<AccuracyResult> MeasureAccuracy(const Graph& graph,
+                                       const SelectivityMap& selectivities,
+                                       const std::string& ordering_name,
+                                       size_t k, size_t beta,
+                                       HistogramType histogram_type);
+
+/// \brief One timing measurement (a cell of the paper's Table 4).
+struct TimingResult {
+  std::string ordering;
+  size_t beta = 0;
+  /// Mean wall-clock time of a single Estimate() call, microseconds.
+  double avg_estimate_us = 0.0;
+  /// Number of estimate calls measured.
+  uint64_t calls = 0;
+};
+
+/// \brief Average per-query estimation time for one (ordering, beta) cell,
+/// replaying every path in L_k `repetitions` times.
+Result<TimingResult> MeasureEstimationTime(const Graph& graph,
+                                           const SelectivityMap& selectivities,
+                                           const std::string& ordering_name,
+                                           size_t k, size_t beta,
+                                           HistogramType histogram_type,
+                                           size_t repetitions);
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_EXPERIMENT_H_

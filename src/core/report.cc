@@ -1,0 +1,62 @@
+#include "core/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/status.h"
+
+namespace pathest {
+
+ReportTable::ReportTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  PATHEST_CHECK(cells.size() == header_.size(),
+                "report row width mismatch with header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c > 0 ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+Status ReportTable::WriteCsv(const std::string& path) const {
+  CsvWriter writer;
+  PATHEST_RETURN_NOT_OK(writer.Open(path, header_));
+  for (const auto& row : rows_) {
+    PATHEST_RETURN_NOT_OK(writer.WriteRow(row));
+  }
+  return writer.Close();
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return std::string(buf);
+}
+
+}  // namespace pathest

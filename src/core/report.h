@@ -1,0 +1,43 @@
+// pathest: fixed-width table rendering + CSV persistence for the bench
+// harness, so every bench prints paper-shaped rows and leaves a CSV behind.
+
+#ifndef PATHEST_CORE_REPORT_H_
+#define PATHEST_CORE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief A simple column-aligned text table.
+class ReportTable {
+ public:
+  explicit ReportTable(std::vector<std::string> header);
+
+  /// \brief Appends a row; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  /// \brief Renders with column alignment and a header rule.
+  std::string ToString() const;
+
+  /// \brief Writes the table as CSV.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double with `digits` significant digits.
+std::string FormatDouble(double value, int digits = 4);
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_REPORT_H_

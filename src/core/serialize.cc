@@ -1,0 +1,172 @@
+#include "core/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ordering/factory.h"
+
+namespace pathest {
+
+namespace {
+constexpr const char* kMagic = "pathest-histogram v1";
+}  // namespace
+
+bool IsSerializableOrdering(const std::string& ordering_name) {
+  for (const char* name :
+       {"num-alph", "num-card", "lex-alph", "lex-card", "sum-based",
+        "sum-card", "sum-alph", "gray-alph", "gray-card"}) {
+    if (ordering_name == name) return true;
+  }
+  return false;
+}
+
+Status WritePathHistogram(const PathHistogram& estimator,
+                          const LabelDictionary& labels,
+                          const std::vector<uint64_t>& label_cardinalities,
+                          std::ostream* out) {
+  const std::string& ordering_name = estimator.ordering().name();
+  if (!IsSerializableOrdering(ordering_name)) {
+    return Status::InvalidArgument(
+        "ordering '" + ordering_name +
+        "' materializes O(|L_k|) state and cannot be serialized compactly");
+  }
+  if (labels.size() != label_cardinalities.size()) {
+    return Status::InvalidArgument("cardinalities size mismatch");
+  }
+  (*out) << kMagic << "\n";
+  (*out) << "ordering " << ordering_name << "\n";
+  (*out) << "type " << HistogramTypeName(estimator.histogram_type()) << "\n";
+  (*out) << "k " << estimator.ordering().space().k() << "\n";
+  (*out) << "labels " << labels.size();
+  for (const std::string& name : labels.names()) (*out) << ' ' << name;
+  (*out) << "\n";
+  (*out) << "cardinalities";
+  for (uint64_t f : label_cardinalities) (*out) << ' ' << f;
+  (*out) << "\n";
+  const auto& buckets = estimator.histogram().buckets();
+  (*out) << "buckets " << buckets.size() << "\n";
+  // Hex double encoding is lossless and locale-independent.
+  (*out).precision(17);
+  for (const Bucket& b : buckets) {
+    (*out) << b.begin << ' ' << b.end << ' ' << std::hexfloat << b.sum << ' '
+           << b.sumsq << std::defaultfloat << "\n";
+  }
+  if (!out->good()) return Status::IOError("histogram write failed");
+  return Status::OK();
+}
+
+Status SavePathHistogram(const PathHistogram& estimator, const Graph& graph,
+                         const std::string& path) {
+  std::vector<uint64_t> cards(graph.num_labels());
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    cards[l] = graph.LabelCardinality(l);
+  }
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  return WritePathHistogram(estimator, graph.labels(), cards, &out);
+}
+
+Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || line != kMagic) {
+    return Status::IOError("bad magic: expected '" + std::string(kMagic) +
+                           "'");
+  }
+  auto expect_key = [&](const char* key,
+                        std::istringstream* rest) -> Status {
+    if (!std::getline(*in, line)) {
+      return Status::IOError(std::string("truncated file before '") + key +
+                             "'");
+    }
+    rest->clear();
+    rest->str(line);
+    std::string actual;
+    (*rest) >> actual;
+    if (actual != key) {
+      return Status::IOError("expected key '" + std::string(key) +
+                             "', found '" + actual + "'");
+    }
+    return Status::OK();
+  };
+
+  std::istringstream rest;
+  PATHEST_RETURN_NOT_OK(expect_key("ordering", &rest));
+  std::string ordering_name;
+  rest >> ordering_name;
+  if (!IsSerializableOrdering(ordering_name)) {
+    return Status::IOError("unknown serialized ordering: " + ordering_name);
+  }
+
+  PATHEST_RETURN_NOT_OK(expect_key("type", &rest));
+  std::string type_name;
+  rest >> type_name;
+  auto type = ParseHistogramType(type_name);
+  if (!type.ok()) return type.status();
+
+  PATHEST_RETURN_NOT_OK(expect_key("k", &rest));
+  size_t k = 0;
+  rest >> k;
+  if (k < 1 || k > kMaxPathLength) return Status::IOError("bad k");
+
+  PATHEST_RETURN_NOT_OK(expect_key("labels", &rest));
+  size_t num_labels = 0;
+  rest >> num_labels;
+  if (num_labels == 0 || num_labels > 4096) {
+    return Status::IOError("bad label count");
+  }
+  LabelDictionary labels;
+  for (size_t i = 0; i < num_labels; ++i) {
+    std::string name;
+    if (!(rest >> name)) return Status::IOError("truncated label list");
+    if (labels.Intern(name) != i) {
+      return Status::IOError("duplicate label name: " + name);
+    }
+  }
+
+  PATHEST_RETURN_NOT_OK(expect_key("cardinalities", &rest));
+  std::vector<uint64_t> cards(num_labels);
+  for (auto& f : cards) {
+    if (!(rest >> f)) return Status::IOError("truncated cardinalities");
+  }
+
+  PATHEST_RETURN_NOT_OK(expect_key("buckets", &rest));
+  size_t num_buckets = 0;
+  rest >> num_buckets;
+  if (num_buckets == 0) return Status::IOError("bad bucket count");
+  std::vector<Bucket> buckets(num_buckets);
+  for (auto& b : buckets) {
+    if (!std::getline(*in, line)) return Status::IOError("truncated buckets");
+    std::istringstream bs(line);
+    // std::hexfloat parsing via strtod for portability.
+    std::string sum_tok;
+    std::string sumsq_tok;
+    if (!(bs >> b.begin >> b.end >> sum_tok >> sumsq_tok)) {
+      return Status::IOError("malformed bucket line: " + line);
+    }
+    b.sum = std::strtod(sum_tok.c_str(), nullptr);
+    b.sumsq = std::strtod(sumsq_tok.c_str(), nullptr);
+  }
+
+  auto histogram = Histogram::FromBuckets(std::move(buckets));
+  if (!histogram.ok()) {
+    return Status::IOError("invalid buckets: " +
+                           histogram.status().message());
+  }
+  auto ordering = MakeOrderingFromStats(ordering_name, labels, cards, k);
+  if (!ordering.ok()) return ordering.status();
+  auto estimator = PathHistogram::FromParts(std::move(*ordering),
+                                            std::move(*histogram), *type);
+  if (!estimator.ok()) return estimator.status();
+  return LoadedPathHistogram{std::move(labels), std::move(cards),
+                             std::move(*estimator)};
+}
+
+Result<LoadedPathHistogram> LoadPathHistogram(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  return ReadPathHistogram(&in);
+}
+
+}  // namespace pathest

@@ -1,0 +1,63 @@
+// pathest: persistence for path statistics.
+//
+// A production optimizer keeps its statistics in the catalog and reloads
+// them at startup rather than rescanning the data. This module serializes a
+// PathHistogram (ordering identity + ranking state + buckets) to a
+// versioned, human-auditable text format and reconstructs a working
+// estimator from it WITHOUT access to the original selectivities.
+//
+// Format ("pathest-histogram v1"), line-oriented:
+//   pathest-histogram v1
+//   ordering <name>
+//   k <k>
+//   labels <n> <name_1> ... <name_n>         # label id order
+//   cardinalities <f_1> ... <f_n>            # for reconstructing rankings
+//   buckets <beta>
+//   <begin> <end> <sum> <sumsq>              # beta lines
+//
+// Only closed-form orderings (num-*, lex-*, sum-*, gray-*) round-trip:
+// ideal/random/sum-L2 materialize O(|L_k|) state whose persistence would
+// defeat the purpose of the histogram (the paper's argument for why ideal
+// ordering is impractical, now visible as an API boundary).
+
+#ifndef PATHEST_CORE_SERIALIZE_H_
+#define PATHEST_CORE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/path_histogram.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief True when `ordering_name` can be reconstructed from label
+/// cardinalities alone (no O(|L_k|) state).
+bool IsSerializableOrdering(const std::string& ordering_name);
+
+/// \brief Writes the estimator to a stream.
+Status WritePathHistogram(const PathHistogram& estimator,
+                          const LabelDictionary& labels,
+                          const std::vector<uint64_t>& label_cardinalities,
+                          std::ostream* out);
+
+/// \brief Saves the estimator to a file.
+Status SavePathHistogram(const PathHistogram& estimator, const Graph& graph,
+                         const std::string& path);
+
+/// \brief A deserialized estimator plus the label dictionary it carries.
+struct LoadedPathHistogram {
+  LabelDictionary labels;
+  std::vector<uint64_t> label_cardinalities;
+  PathHistogram estimator;
+};
+
+/// \brief Reads an estimator from a stream.
+Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in);
+
+/// \brief Loads an estimator from a file.
+Result<LoadedPathHistogram> LoadPathHistogram(const std::string& path);
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_SERIALIZE_H_

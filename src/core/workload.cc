@@ -1,0 +1,43 @@
+#include "core/workload.h"
+
+#include "util/random.h"
+
+namespace pathest {
+
+std::vector<LabelPath> AllPathsWorkload(const PathSpace& space) {
+  std::vector<LabelPath> paths;
+  paths.reserve(space.size());
+  space.ForEach([&](const LabelPath& p) { paths.push_back(p); });
+  return paths;
+}
+
+std::vector<LabelPath> SampledWorkload(const PathSpace& space, size_t count,
+                                       uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LabelPath> paths;
+  paths.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    paths.push_back(space.CanonicalPath(rng.NextBounded(space.size())));
+  }
+  return paths;
+}
+
+std::vector<LabelPath> NonEmptyWorkload(const SelectivityMap& selectivities) {
+  std::vector<LabelPath> paths;
+  selectivities.space().ForEach([&](const LabelPath& p) {
+    if (selectivities.Get(p) > 0) paths.push_back(p);
+  });
+  return paths;
+}
+
+std::vector<LabelPath> FixedLengthWorkload(const PathSpace& space,
+                                           size_t length) {
+  std::vector<LabelPath> paths;
+  paths.reserve(space.CountWithLength(length));
+  space.ForEach([&](const LabelPath& p) {
+    if (p.length() == length) paths.push_back(p);
+  });
+  return paths;
+}
+
+}  // namespace pathest

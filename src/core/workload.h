@@ -1,0 +1,37 @@
+// pathest: query workload generation for accuracy and timing experiments.
+//
+// The paper's accuracy study queries every path in L_k (point queries over
+// the whole domain); the timing study replays a workload repeatedly. Extra
+// generators (sampled, nonzero-only, length-stratified) support ablations.
+
+#ifndef PATHEST_CORE_WORKLOAD_H_
+#define PATHEST_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "path/label_path.h"
+#include "path/path_space.h"
+#include "path/selectivity.h"
+
+namespace pathest {
+
+/// \brief Every path in L_k, canonical order (the paper's accuracy query
+/// set).
+std::vector<LabelPath> AllPathsWorkload(const PathSpace& space);
+
+/// \brief `count` paths drawn uniformly (with replacement) from L_k.
+std::vector<LabelPath> SampledWorkload(const PathSpace& space, size_t count,
+                                       uint64_t seed);
+
+/// \brief All paths with non-zero exact selectivity — queries that a real
+/// query log would actually contain.
+std::vector<LabelPath> NonEmptyWorkload(const SelectivityMap& selectivities);
+
+/// \brief All paths of exactly `length` labels.
+std::vector<LabelPath> FixedLengthWorkload(const PathSpace& space,
+                                           size_t length);
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_WORKLOAD_H_

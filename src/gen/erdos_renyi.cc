@@ -1,0 +1,58 @@
+#include <unordered_set>
+
+#include "gen/generator.h"
+#include "graph/graph_builder.h"
+
+namespace pathest {
+
+std::vector<std::string> NumericLabelNames(size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 1; i <= n; ++i) names.push_back(std::to_string(i));
+  return names;
+}
+
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiParams& params,
+                                 LabelAssigner* assigner) {
+  if (params.num_vertices == 0) {
+    return Status::InvalidArgument("ER: num_vertices must be > 0");
+  }
+  if (params.forbid_self_loops && params.num_vertices < 2 &&
+      params.num_edges > 0) {
+    return Status::InvalidArgument("ER: cannot avoid self loops with |V| < 2");
+  }
+  const size_t num_labels = assigner->num_labels();
+  // Capacity check: distinct triples available.
+  __uint128_t pair_count =
+      static_cast<__uint128_t>(params.num_vertices) * params.num_vertices;
+  if (params.forbid_self_loops) pair_count -= params.num_vertices;
+  if (static_cast<__uint128_t>(params.num_edges) > pair_count * num_labels) {
+    return Status::InvalidArgument("ER: more edges requested than possible");
+  }
+
+  GraphBuilder builder;
+  for (const std::string& name : NumericLabelNames(num_labels)) {
+    builder.AddLabel(name);
+  }
+  builder.SetNumVertices(params.num_vertices);
+
+  Rng rng(params.seed);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.num_edges * 2);
+  size_t produced = 0;
+  while (produced < params.num_edges) {
+    VertexId src = static_cast<VertexId>(rng.NextBounded(params.num_vertices));
+    VertexId dst = static_cast<VertexId>(rng.NextBounded(params.num_vertices));
+    if (params.forbid_self_loops && src == dst) continue;
+    LabelId label = assigner->Assign(src, dst, &rng);
+    uint64_t key = (static_cast<uint64_t>(src) << 32) | dst;
+    // Key on (src, dst, label): 32+32 bits won't fit the label too, so mix it.
+    key ^= static_cast<uint64_t>(label) * 0x9E3779B97F4A7C15ULL;
+    if (!seen.insert(key).second) continue;
+    builder.AddEdge(src, label, dst);
+    ++produced;
+  }
+  return builder.Build();
+}
+
+}  // namespace pathest

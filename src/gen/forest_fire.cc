@@ -1,0 +1,92 @@
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "gen/generator.h"
+#include "graph/graph_builder.h"
+
+namespace pathest {
+
+namespace {
+
+// Samples a geometric-like burn count: number of successes before failure
+// with success probability p, capped at `cap`.
+size_t BurnCount(double p, size_t cap, Rng* rng) {
+  size_t n = 0;
+  while (n < cap && rng->NextBool(p)) ++n;
+  return n;
+}
+
+}  // namespace
+
+Result<Graph> GenerateForestFire(const ForestFireParams& params,
+                                 LabelAssigner* assigner) {
+  if (params.num_vertices == 0) {
+    return Status::InvalidArgument("FF: num_vertices must be > 0");
+  }
+  if (params.forward_prob < 0.0 || params.forward_prob >= 1.0) {
+    return Status::InvalidArgument("FF: forward_prob must be in [0, 1)");
+  }
+
+  GraphBuilder builder;
+  for (const std::string& name : NumericLabelNames(assigner->num_labels())) {
+    builder.AddLabel(name);
+  }
+  builder.SetNumVertices(params.num_vertices);
+
+  Rng rng(params.seed);
+  // Adjacency kept during generation for the burn walk (both directions).
+  std::vector<std::vector<VertexId>> out_adj(params.num_vertices);
+  std::vector<std::vector<VertexId>> in_adj(params.num_vertices);
+
+  const size_t out_cap = params.max_out_per_vertex == 0
+                             ? params.num_vertices
+                             : params.max_out_per_vertex;
+
+  for (VertexId v = 1; v < params.num_vertices; ++v) {
+    // Pick an ambassador among existing vertices and burn outward.
+    std::unordered_set<VertexId> burned;
+    std::vector<VertexId> frontier;
+    VertexId ambassador = static_cast<VertexId>(rng.NextBounded(v));
+    burned.insert(ambassador);
+    frontier.push_back(ambassador);
+    std::vector<VertexId> linked;
+    linked.push_back(ambassador);
+
+    while (!frontier.empty() && linked.size() < out_cap) {
+      VertexId w = frontier.back();
+      frontier.pop_back();
+      // Burn forward through out-links and backward through in-links.
+      size_t fwd = BurnCount(params.forward_prob, out_adj[w].size(), &rng);
+      size_t bwd = BurnCount(params.forward_prob * params.backward_ratio,
+                             in_adj[w].size(), &rng);
+      auto burn_from = [&](const std::vector<VertexId>& nbrs, size_t want) {
+        // Scan a random rotation so repeated burns don't always pick the
+        // earliest neighbors.
+        if (nbrs.empty() || want == 0) return;
+        size_t start = rng.NextBounded(nbrs.size());
+        for (size_t i = 0; i < nbrs.size() && want > 0; ++i) {
+          VertexId u = nbrs[(start + i) % nbrs.size()];
+          if (burned.insert(u).second) {
+            frontier.push_back(u);
+            linked.push_back(u);
+            --want;
+            if (linked.size() >= out_cap) return;
+          }
+        }
+      };
+      burn_from(out_adj[w], fwd);
+      burn_from(in_adj[w], bwd);
+    }
+
+    for (VertexId target : linked) {
+      LabelId label = assigner->Assign(v, target, &rng);
+      builder.AddEdge(v, label, target);
+      out_adj[v].push_back(target);
+      in_adj[target].push_back(v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace pathest

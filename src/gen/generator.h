@@ -1,0 +1,69 @@
+// pathest: common declarations for synthetic graph generators.
+
+#ifndef PATHEST_GEN_GENERATOR_H_
+#define PATHEST_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/label_assigner.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Parameters for the Erdős–Rényi G(n, m) model with labels.
+struct ErdosRenyiParams {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  uint64_t seed = 1;
+  /// Disallow v -> v edges.
+  bool forbid_self_loops = true;
+};
+
+/// \brief Directed labeled G(n, m): `num_edges` distinct (src, label, dst)
+/// triples drawn uniformly; labels via `assigner`.
+Result<Graph> GenerateErdosRenyi(const ErdosRenyiParams& params,
+                                 LabelAssigner* assigner);
+
+/// \brief Parameters for the Forest Fire model (Leskovec et al.).
+struct ForestFireParams {
+  size_t num_vertices = 0;
+  /// Forward burning probability p; expected burn fan-out is p / (1 - p).
+  double forward_prob = 0.35;
+  /// Backward burn ratio r (probability scaling for in-edges).
+  double backward_ratio = 0.32;
+  uint64_t seed = 1;
+  /// Cap on edges created per new vertex (keeps the burn from exploding on
+  /// dense fire spreads); 0 = uncapped.
+  size_t max_out_per_vertex = 32;
+};
+
+/// \brief Forest Fire: each new vertex picks an ambassador and recursively
+/// "burns" through its neighborhood, linking to every burned vertex.
+Result<Graph> GenerateForestFire(const ForestFireParams& params,
+                                 LabelAssigner* assigner);
+
+/// \brief Parameters for labeled preferential attachment.
+struct PrefAttachmentParams {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  /// Probability that an endpoint is chosen preferentially (by in-degree)
+  /// rather than uniformly. 0 = pure random, 1 = pure preferential.
+  double pref_prob = 0.75;
+  uint64_t seed = 1;
+};
+
+/// \brief Preferential attachment over a fixed vertex set: edges land on
+/// high-in-degree targets with probability `pref_prob`, producing the
+/// heavy-tailed degree profile of social/knowledge graphs.
+Result<Graph> GeneratePrefAttachment(const PrefAttachmentParams& params,
+                                     LabelAssigner* assigner);
+
+/// \brief Default label names "1", "2", ..., `n` (paper convention).
+std::vector<std::string> NumericLabelNames(size_t n);
+
+}  // namespace pathest
+
+#endif  // PATHEST_GEN_GENERATOR_H_

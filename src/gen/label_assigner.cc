@@ -1,0 +1,65 @@
+#include "gen/label_assigner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace pathest {
+
+UniformLabelAssigner::UniformLabelAssigner(size_t num_labels)
+    : num_labels_(num_labels) {
+  PATHEST_CHECK(num_labels >= 1, "need at least one label");
+}
+
+LabelId UniformLabelAssigner::Assign(VertexId, VertexId, Rng* rng) {
+  return static_cast<LabelId>(rng->NextBounded(num_labels_));
+}
+
+ZipfLabelAssigner::ZipfLabelAssigner(size_t num_labels, double skew,
+                                     uint64_t shuffle_seed)
+    : zipf_(num_labels, skew), perm_(num_labels) {
+  std::iota(perm_.begin(), perm_.end(), 0);
+  Rng shuffle_rng(shuffle_seed);
+  for (size_t i = perm_.size(); i > 1; --i) {
+    std::swap(perm_[i - 1], perm_[shuffle_rng.NextBounded(i)]);
+  }
+}
+
+LabelId ZipfLabelAssigner::Assign(VertexId, VertexId, Rng* rng) {
+  return perm_[zipf_.Sample(rng)];
+}
+
+TypedLabelAssigner::TypedLabelAssigner(size_t num_labels, size_t num_types,
+                                       uint64_t seed)
+    : num_labels_(num_labels), num_types_(num_types), seed_(seed) {
+  PATHEST_CHECK(num_labels >= 1, "need at least one label");
+  PATHEST_CHECK(num_types >= 1, "need at least one vertex type");
+  labels_by_type_pair_.resize(num_types * num_types);
+  // Deterministically attach each label to one type pair. Label 0 is the
+  // generic fallback and is valid everywhere.
+  uint64_t h = seed;
+  for (LabelId l = 1; l < num_labels; ++l) {
+    uint64_t draw = SplitMix64(&h);
+    size_t src_type = draw % num_types;
+    size_t dst_type = (draw >> 16) % num_types;
+    labels_by_type_pair_[src_type * num_types + dst_type].push_back(l);
+  }
+}
+
+size_t TypedLabelAssigner::VertexType(VertexId v) const {
+  uint64_t h = seed_ ^ (0x51ED2701A0B1C2D3ULL + v);
+  return SplitMix64(&h) % num_types_;
+}
+
+LabelId TypedLabelAssigner::Assign(VertexId src, VertexId dst, Rng* rng) {
+  const auto& candidates =
+      labels_by_type_pair_[VertexType(src) * num_types_ + VertexType(dst)];
+  if (candidates.empty()) return 0;  // generic label
+  // Small chance of the generic label even when typed labels exist, so that
+  // label 0 has high cardinality (a hub predicate, like rdf:type).
+  if (rng->NextBool(0.2)) return 0;
+  return candidates[rng->NextBounded(candidates.size())];
+}
+
+}  // namespace pathest

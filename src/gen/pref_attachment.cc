@@ -1,0 +1,64 @@
+#include <unordered_set>
+#include <vector>
+
+#include "gen/generator.h"
+#include "graph/graph_builder.h"
+
+namespace pathest {
+
+Result<Graph> GeneratePrefAttachment(const PrefAttachmentParams& params,
+                                     LabelAssigner* assigner) {
+  if (params.num_vertices < 2) {
+    return Status::InvalidArgument("PA: need at least 2 vertices");
+  }
+  if (params.pref_prob < 0.0 || params.pref_prob > 1.0) {
+    return Status::InvalidArgument("PA: pref_prob must be in [0, 1]");
+  }
+
+  GraphBuilder builder;
+  for (const std::string& name : NumericLabelNames(assigner->num_labels())) {
+    builder.AddLabel(name);
+  }
+  builder.SetNumVertices(params.num_vertices);
+
+  Rng rng(params.seed);
+  // Repeated-endpoint list: picking a uniform element of `endpoints` is
+  // equivalent to degree-proportional sampling (classic Barabási–Albert
+  // trick). Seeded with every vertex once so all vertices are reachable.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(params.num_vertices + 2 * params.num_edges);
+  for (VertexId v = 0; v < params.num_vertices; ++v) endpoints.push_back(v);
+
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(params.num_edges * 2);
+  size_t produced = 0;
+  size_t attempts = 0;
+  const size_t max_attempts = params.num_edges * 64 + 1024;
+  while (produced < params.num_edges && attempts < max_attempts) {
+    ++attempts;
+    auto pick = [&]() -> VertexId {
+      if (rng.NextBool(params.pref_prob)) {
+        return endpoints[rng.NextBounded(endpoints.size())];
+      }
+      return static_cast<VertexId>(rng.NextBounded(params.num_vertices));
+    };
+    VertexId src = pick();
+    VertexId dst = pick();
+    if (src == dst) continue;
+    LabelId label = assigner->Assign(src, dst, &rng);
+    uint64_t key = (static_cast<uint64_t>(src) << 32) | dst;
+    key ^= static_cast<uint64_t>(label) * 0x9E3779B97F4A7C15ULL;
+    if (!seen.insert(key).second) continue;
+    builder.AddEdge(src, label, dst);
+    endpoints.push_back(src);
+    endpoints.push_back(dst);
+    ++produced;
+  }
+  if (produced < params.num_edges) {
+    return Status::ResourceExhausted(
+        "PA: could not place requested edges (graph too dense)");
+  }
+  return builder.Build();
+}
+
+}  // namespace pathest

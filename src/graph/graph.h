@@ -1,0 +1,123 @@
+// pathest: directed edge-labeled graph, the data model of the paper
+// (Section 2): G = (V, L, E) with E a set of labeled directed edges
+// E ⊆ V × L × V.
+//
+// The graph is immutable once built (see GraphBuilder) and stores one CSR
+// adjacency structure per edge label, which is exactly the access pattern of
+// the path-selectivity evaluator: "all l-successors of vertex v".
+
+#ifndef PATHEST_GRAPH_GRAPH_H_
+#define PATHEST_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pathest {
+
+/// Vertex identifier; dense in [0, num_vertices).
+using VertexId = uint32_t;
+
+/// Edge-label identifier; dense in [0, num_labels).
+using LabelId = uint32_t;
+
+/// \brief One directed labeled edge.
+struct Edge {
+  VertexId src;
+  LabelId label;
+  VertexId dst;
+
+  bool operator==(const Edge&) const = default;
+};
+
+/// \brief Dictionary mapping label names to dense LabelIds.
+///
+/// LabelIds are assigned in insertion order; the alphabetical ranking rule
+/// (ordering/ranking.h) orders by *name*, not by id.
+class LabelDictionary {
+ public:
+  /// \brief Returns the id for `name`, interning it if new.
+  LabelId Intern(const std::string& name);
+
+  /// \brief Id for an existing name, or NotFound.
+  Result<LabelId> Find(const std::string& name) const;
+
+  /// \brief Name of an id. Id must be valid.
+  const std::string& Name(LabelId id) const;
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> index_;
+};
+
+/// \brief Immutable directed edge-labeled multigraph with per-label CSR.
+///
+/// Parallel (src, label, dst) duplicates are removed at build time, matching
+/// the paper's set semantics for E.
+class Graph {
+ public:
+  /// \brief Number of vertices |V|.
+  size_t num_vertices() const { return num_vertices_; }
+
+  /// \brief Number of distinct labels |L|.
+  size_t num_labels() const { return labels_.size(); }
+
+  /// \brief Number of distinct labeled edges |E|.
+  size_t num_edges() const { return num_edges_; }
+
+  /// \brief The label dictionary.
+  const LabelDictionary& labels() const { return labels_; }
+
+  /// \brief Out-neighbors of `v` via edges labeled `l`, sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId v, LabelId l) const;
+
+  /// \brief In-neighbors of `v` via edges labeled `l`, sorted ascending.
+  /// Only available when the graph was built with reverse adjacency.
+  std::span<const VertexId> InNeighbors(VertexId v, LabelId l) const;
+
+  /// \brief True when reverse adjacency was materialized.
+  bool has_reverse() const { return !reverse_.empty(); }
+
+  /// \brief Number of edges labeled `l` — the label cardinality f(l).
+  uint64_t LabelCardinality(LabelId l) const;
+
+  /// \brief Borrowed raw view of one label's forward CSR, for hot loops that
+  /// cannot afford per-access bounds checks (the selectivity evaluator).
+  /// Valid as long as the Graph is alive. `offsets` has num_vertices()+1
+  /// entries; neighbors of v are targets[offsets[v] .. offsets[v+1]).
+  struct CsrView {
+    const uint64_t* offsets;
+    const VertexId* targets;
+  };
+
+  /// \brief Checked-once accessor for CsrView.
+  CsrView ForwardView(LabelId l) const;
+
+  /// \brief All edges, materialized in (label, src, dst) order.
+  std::vector<Edge> CollectEdges() const;
+
+ private:
+  friend class GraphBuilder;
+
+  struct Csr {
+    std::vector<uint64_t> offsets;  // size num_vertices + 1
+    std::vector<VertexId> targets;
+  };
+
+  size_t num_vertices_ = 0;
+  size_t num_edges_ = 0;
+  LabelDictionary labels_;
+  std::vector<Csr> forward_;  // one per label
+  std::vector<Csr> reverse_;  // empty unless requested
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_GRAPH_GRAPH_H_

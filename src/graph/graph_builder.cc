@@ -1,0 +1,105 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+namespace pathest {
+
+LabelId GraphBuilder::AddLabel(const std::string& name) {
+  return labels_.Intern(name);
+}
+
+void GraphBuilder::AddEdge(VertexId src, LabelId label, VertexId dst) {
+  PATHEST_CHECK(label < labels_.size(), "AddEdge with un-interned label");
+  edges_.push_back(Edge{src, label, dst});
+  size_t needed = static_cast<size_t>(std::max(src, dst)) + 1;
+  if (needed > num_vertices_) num_vertices_ = needed;
+}
+
+void GraphBuilder::AddEdge(VertexId src, const std::string& label,
+                           VertexId dst) {
+  AddEdge(src, labels_.Intern(label), dst);
+}
+
+void GraphBuilder::SetNumVertices(size_t n) {
+  if (n > num_vertices_) num_vertices_ = n;
+}
+
+namespace {
+
+// Prefix-sum degree table per label; `get_src` selects the endpoint that
+// indexes the CSR, so the same code builds forward and reverse structures.
+template <typename GetSrc>
+std::vector<std::vector<uint64_t>> CountDegrees(const std::vector<Edge>& edges,
+                                                size_t num_labels,
+                                                size_t num_vertices,
+                                                GetSrc get_src) {
+  std::vector<std::vector<uint64_t>> offsets(
+      num_labels, std::vector<uint64_t>(num_vertices + 1, 0));
+  for (const Edge& e : edges) {
+    ++offsets[e.label][get_src(e) + 1];
+  }
+  for (auto& row : offsets) {
+    for (size_t v = 1; v <= num_vertices; ++v) row[v] += row[v - 1];
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Result<Graph> GraphBuilder::Build(bool with_reverse) {
+  if (labels_.size() == 0 && !edges_.empty()) {
+    return Status::InvalidArgument("edges present but no labels interned");
+  }
+  // Dedup in (label, src, dst) order; this is also CSR insertion order.
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    if (a.label != b.label) return a.label < b.label;
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  Graph g;
+  g.num_vertices_ = num_vertices_;
+  g.num_edges_ = edges_.size();
+  g.labels_ = labels_;
+
+  const size_t num_labels = labels_.size();
+  g.forward_.resize(num_labels);
+  {
+    auto offsets = CountDegrees(edges_, num_labels, num_vertices_,
+                                [](const Edge& e) { return e.src; });
+    for (size_t l = 0; l < num_labels; ++l) {
+      g.forward_[l].offsets = offsets[l];
+      g.forward_[l].targets.resize(offsets[l][num_vertices_]);
+    }
+    std::vector<std::vector<uint64_t>> cursor = offsets;
+    for (const Edge& e : edges_) {
+      g.forward_[e.label].targets[cursor[e.label][e.src]++] = e.dst;
+    }
+  }
+
+  if (with_reverse) {
+    auto offsets = CountDegrees(edges_, num_labels, num_vertices_,
+                                [](const Edge& e) { return e.dst; });
+    g.reverse_.resize(num_labels);
+    for (size_t l = 0; l < num_labels; ++l) {
+      g.reverse_[l].offsets = offsets[l];
+      g.reverse_[l].targets.resize(offsets[l][num_vertices_]);
+    }
+    std::vector<std::vector<uint64_t>> cursor = offsets;
+    for (const Edge& e : edges_) {
+      g.reverse_[e.label].targets[cursor[e.label][e.dst]++] = e.src;
+    }
+    // Reverse targets must be sorted per source for binary-search use.
+    for (size_t l = 0; l < num_labels; ++l) {
+      auto& csr = g.reverse_[l];
+      for (size_t v = 0; v < num_vertices_; ++v) {
+        std::sort(csr.targets.begin() + csr.offsets[v],
+                  csr.targets.begin() + csr.offsets[v + 1]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace pathest

@@ -1,0 +1,51 @@
+// pathest: mutable accumulator that produces an immutable Graph.
+
+#ifndef PATHEST_GRAPH_GRAPH_BUILDER_H_
+#define PATHEST_GRAPH_GRAPH_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Collects vertices/edges and finalizes them into a Graph.
+///
+/// Duplicate (src, label, dst) triples are dropped at Build() time, per the
+/// paper's set semantics. Vertices are implicit: adding an edge extends the
+/// vertex range to cover both endpoints; SetNumVertices can reserve isolated
+/// tail vertices.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// \brief Interns `name` and returns its label id.
+  LabelId AddLabel(const std::string& name);
+
+  /// \brief Adds edge (src, label, dst). Label must come from AddLabel.
+  void AddEdge(VertexId src, LabelId label, VertexId dst);
+
+  /// \brief Convenience: interns the label name and adds the edge.
+  void AddEdge(VertexId src, const std::string& label, VertexId dst);
+
+  /// \brief Ensures the graph has at least `n` vertices.
+  void SetNumVertices(size_t n);
+
+  /// \brief Number of edges accumulated so far (before dedup).
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// \brief Finalizes into an immutable Graph.
+  /// \param with_reverse also materialize in-neighbor CSR structures.
+  Result<Graph> Build(bool with_reverse = false);
+
+ private:
+  LabelDictionary labels_;
+  std::vector<Edge> edges_;
+  size_t num_vertices_ = 0;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_GRAPH_GRAPH_BUILDER_H_

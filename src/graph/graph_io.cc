@@ -1,0 +1,64 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "graph/graph_builder.h"
+
+namespace pathest {
+
+Result<Graph> ReadGraphText(std::istream* in, bool with_reverse) {
+  GraphBuilder builder;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    // Strip comments.
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    uint64_t src = 0;
+    uint64_t dst = 0;
+    std::string label;
+    if (!(ls >> src)) continue;  // blank / comment-only line
+    if (!(ls >> label >> dst)) {
+      return Status::IOError("malformed edge at line " +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (src > UINT32_MAX || dst > UINT32_MAX) {
+      return Status::OutOfRange("vertex id exceeds 32 bits at line " +
+                                std::to_string(line_no));
+    }
+    builder.AddEdge(static_cast<VertexId>(src), label,
+                    static_cast<VertexId>(dst));
+  }
+  return builder.Build(with_reverse);
+}
+
+Result<Graph> LoadGraphFile(const std::string& path, bool with_reverse) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open graph file: " + path);
+  }
+  return ReadGraphText(&in, with_reverse);
+}
+
+Status WriteGraphText(const Graph& graph, std::ostream* out) {
+  (*out) << "# pathest edge-list v1: <src> <label> <dst>\n";
+  for (const Edge& e : graph.CollectEdges()) {
+    (*out) << e.src << ' ' << graph.labels().Name(e.label) << ' ' << e.dst
+           << '\n';
+  }
+  if (!out->good()) return Status::IOError("graph write failed");
+  return Status::OK();
+}
+
+Status SaveGraphFile(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open graph file for writing: " + path);
+  }
+  return WriteGraphText(graph, &out);
+}
+
+}  // namespace pathest

@@ -1,0 +1,35 @@
+// pathest: text serialization for graphs.
+//
+// Format ("pathest edge-list v1"):
+//   # comment lines and blank lines are ignored
+//   <src-vertex-id> <label-name> <dst-vertex-id>
+// one edge per line, whitespace-separated. Vertex ids are non-negative
+// integers; label names are arbitrary non-whitespace tokens.
+
+#ifndef PATHEST_GRAPH_GRAPH_IO_H_
+#define PATHEST_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Parses an edge-list stream into a Graph.
+Result<Graph> ReadGraphText(std::istream* in, bool with_reverse = false);
+
+/// \brief Loads an edge-list file.
+Result<Graph> LoadGraphFile(const std::string& path,
+                            bool with_reverse = false);
+
+/// \brief Writes a graph as an edge list.
+Status WriteGraphText(const Graph& graph, std::ostream* out);
+
+/// \brief Saves a graph to an edge-list file.
+Status SaveGraphFile(const Graph& graph, const std::string& path);
+
+}  // namespace pathest
+
+#endif  // PATHEST_GRAPH_GRAPH_IO_H_

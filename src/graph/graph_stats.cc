@@ -1,0 +1,49 @@
+#include "graph/graph_stats.h"
+
+#include <sstream>
+
+namespace pathest {
+
+GraphStats ComputeGraphStats(const Graph& graph) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  stats.num_labels = graph.num_labels();
+  stats.label_cardinalities.resize(graph.num_labels());
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    stats.label_cardinalities[l] = graph.LabelCardinality(l);
+  }
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    bool has_out = false;
+    for (LabelId l = 0; l < graph.num_labels(); ++l) {
+      uint64_t deg = graph.OutNeighbors(v, l).size();
+      if (deg > stats.max_label_out_degree) stats.max_label_out_degree = deg;
+      has_out = has_out || deg > 0;
+    }
+    if (!has_out) ++stats.num_sink_vertices;
+  }
+  stats.mean_out_degree =
+      stats.num_vertices == 0
+          ? 0.0
+          : static_cast<double>(stats.num_edges) /
+                static_cast<double>(stats.num_vertices);
+  return stats;
+}
+
+std::string FormatGraphStats(const Graph& graph, const GraphStats& stats) {
+  std::ostringstream out;
+  out << "vertices: " << stats.num_vertices << "\n"
+      << "edges:    " << stats.num_edges << "\n"
+      << "labels:   " << stats.num_labels << "\n"
+      << "mean out-degree: " << stats.mean_out_degree << "\n"
+      << "max (v,l) out-degree: " << stats.max_label_out_degree << "\n"
+      << "sink vertices: " << stats.num_sink_vertices << "\n"
+      << "label cardinalities:\n";
+  for (LabelId l = 0; l < stats.label_cardinalities.size(); ++l) {
+    out << "  " << graph.labels().Name(l) << ": "
+        << stats.label_cardinalities[l] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pathest

@@ -1,0 +1,39 @@
+// pathest: descriptive statistics of a labeled graph; backs the Table 3
+// reproduction and the cardinality ranking rule.
+
+#ifndef PATHEST_GRAPH_GRAPH_STATS_H_
+#define PATHEST_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pathest {
+
+/// \brief Summary of one graph (the columns of the paper's Table 3, plus
+/// per-label detail).
+struct GraphStats {
+  size_t num_vertices = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+  /// f(l) for each label id.
+  std::vector<uint64_t> label_cardinalities;
+  /// Maximum out-degree over all (vertex, label) pairs.
+  uint64_t max_label_out_degree = 0;
+  /// Mean out-degree |E| / |V|.
+  double mean_out_degree = 0.0;
+  /// Number of vertices with no outgoing edge of any label.
+  size_t num_sink_vertices = 0;
+};
+
+/// \brief Computes stats in one pass over the CSR structures.
+GraphStats ComputeGraphStats(const Graph& graph);
+
+/// \brief Multi-line human-readable rendering (used by benches/examples).
+std::string FormatGraphStats(const Graph& graph, const GraphStats& stats);
+
+}  // namespace pathest
+
+#endif  // PATHEST_GRAPH_GRAPH_STATS_H_

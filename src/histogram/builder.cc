@@ -1,0 +1,53 @@
+#include "histogram/builders.h"
+
+namespace pathest {
+
+const char* HistogramTypeName(HistogramType type) {
+  switch (type) {
+    case HistogramType::kEquiWidth:
+      return "equi-width";
+    case HistogramType::kEquiDepth:
+      return "equi-depth";
+    case HistogramType::kVOptimal:
+      return "v-optimal";
+    case HistogramType::kVOptimalExact:
+      return "v-optimal-exact";
+    case HistogramType::kMaxDiff:
+      return "maxdiff";
+    case HistogramType::kEndBiased:
+      return "end-biased";
+  }
+  return "?";
+}
+
+Result<HistogramType> ParseHistogramType(const std::string& name) {
+  for (HistogramType type :
+       {HistogramType::kEquiWidth, HistogramType::kEquiDepth,
+        HistogramType::kVOptimal, HistogramType::kVOptimalExact,
+        HistogramType::kMaxDiff, HistogramType::kEndBiased}) {
+    if (name == HistogramTypeName(type)) return type;
+  }
+  return Status::NotFound("unknown histogram type: " + name);
+}
+
+Result<Histogram> BuildHistogram(HistogramType type,
+                                 const std::vector<uint64_t>& data,
+                                 size_t num_buckets) {
+  switch (type) {
+    case HistogramType::kEquiWidth:
+      return BuildEquiWidth(data, num_buckets);
+    case HistogramType::kEquiDepth:
+      return BuildEquiDepth(data, num_buckets);
+    case HistogramType::kVOptimal:
+      return BuildVOptimalGreedy(data, num_buckets);
+    case HistogramType::kVOptimalExact:
+      return BuildVOptimalExact(data, num_buckets);
+    case HistogramType::kMaxDiff:
+      return BuildMaxDiff(data, num_buckets);
+    case HistogramType::kEndBiased:
+      return BuildEndBiased(data, num_buckets);
+  }
+  return Status::InvalidArgument("unknown histogram type");
+}
+
+}  // namespace pathest

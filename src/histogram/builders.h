@@ -1,0 +1,78 @@
+// pathest: histogram construction policies.
+//
+// Every builder takes the frequency sequence in domain order (one value per
+// label-path index under a chosen ordering) and a bucket budget β, and
+// returns a Histogram. The V-optimal objective (minimum total within-bucket
+// SSE) has two implementations:
+//   * BuildVOptimalExact  — the O(n² β) dynamic program; reference quality,
+//     guarded to small n (tests, ablations);
+//   * BuildVOptimalGreedy — bottom-up adjacent-bucket merging with a lazy
+//     min-heap, O(n log n); the scalable builder used at paper scale
+//     (n = 55 986 with β up to n/2), see DESIGN.md §3.
+
+#ifndef PATHEST_HISTOGRAM_BUILDERS_H_
+#define PATHEST_HISTOGRAM_BUILDERS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "histogram/histogram.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Equal-width buckets: boundary positions evenly spaced.
+Result<Histogram> BuildEquiWidth(const std::vector<uint64_t>& data,
+                                 size_t num_buckets);
+
+/// \brief Equal-depth (equi-sum) buckets: each bucket holds ~1/β of the total
+/// frequency mass.
+Result<Histogram> BuildEquiDepth(const std::vector<uint64_t>& data,
+                                 size_t num_buckets);
+
+/// \brief Exact V-optimal via dynamic programming. Rejects n > max_n to keep
+/// the quadratic cost bounded.
+Result<Histogram> BuildVOptimalExact(const std::vector<uint64_t>& data,
+                                     size_t num_buckets,
+                                     size_t max_n = 4096);
+
+/// \brief Greedy approximate V-optimal: start from singleton buckets and
+/// repeatedly merge the adjacent pair with the smallest SSE increase.
+Result<Histogram> BuildVOptimalGreedy(const std::vector<uint64_t>& data,
+                                      size_t num_buckets);
+
+/// \brief MaxDiff: boundaries at the β-1 largest adjacent frequency gaps.
+Result<Histogram> BuildMaxDiff(const std::vector<uint64_t>& data,
+                               size_t num_buckets);
+
+/// \brief End-biased: singleton buckets for the ~β/2 highest-frequency
+/// positions, remaining runs bucketed contiguously. Total buckets <= β.
+Result<Histogram> BuildEndBiased(const std::vector<uint64_t>& data,
+                                 size_t num_buckets);
+
+/// \brief Histogram construction policy selector.
+enum class HistogramType {
+  kEquiWidth,
+  kEquiDepth,
+  kVOptimal,       // greedy at any scale (paper-scale default)
+  kVOptimalExact,  // DP, small domains only
+  kMaxDiff,
+  kEndBiased,
+};
+
+/// \brief Short names: "equi-width", "equi-depth", "v-optimal",
+/// "v-optimal-exact", "maxdiff", "end-biased".
+const char* HistogramTypeName(HistogramType type);
+
+/// \brief Name -> type lookup.
+Result<HistogramType> ParseHistogramType(const std::string& name);
+
+/// \brief Dispatches to the matching builder.
+Result<Histogram> BuildHistogram(HistogramType type,
+                                 const std::vector<uint64_t>& data,
+                                 size_t num_buckets);
+
+}  // namespace pathest
+
+#endif  // PATHEST_HISTOGRAM_BUILDERS_H_

@@ -1,0 +1,42 @@
+#include <algorithm>
+#include <numeric>
+
+#include "histogram/builders.h"
+
+namespace pathest {
+
+Result<Histogram> BuildEndBiased(const std::vector<uint64_t>& data,
+                                 size_t num_buckets) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const size_t n = data.size();
+  const size_t beta = std::min(num_buckets, n);
+  if (beta == 1 || n == 1) {
+    return Histogram::FromBoundaries(data, {});
+  }
+
+  // Give the (beta - 1) / 2 highest-frequency positions singleton buckets;
+  // every contiguous run between singletons becomes one bucket, keeping the
+  // total bucket count <= beta.
+  size_t singletons = (beta - 1) / 2;
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (singletons > 0) {
+    std::nth_element(order.begin(), order.begin() + (singletons - 1),
+                     order.end(), [&](uint64_t a, uint64_t b) {
+                       if (data[a] != data[b]) return data[a] > data[b];
+                       return a < b;
+                     });
+  }
+  std::vector<uint64_t> cuts;
+  for (size_t i = 0; i < singletons; ++i) {
+    uint64_t pos = order[i];
+    if (pos > 0) cuts.push_back(pos);
+    if (pos + 1 < n) cuts.push_back(pos + 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return Histogram::FromBoundaries(data, std::move(cuts));
+}
+
+}  // namespace pathest

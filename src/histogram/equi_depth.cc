@@ -1,0 +1,35 @@
+#include "histogram/builders.h"
+
+namespace pathest {
+
+Result<Histogram> BuildEquiDepth(const std::vector<uint64_t>& data,
+                                 size_t num_buckets) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const uint64_t n = data.size();
+  const uint64_t beta = std::min<uint64_t>(num_buckets, n);
+
+  double total = 0.0;
+  for (uint64_t v : data) total += static_cast<double>(v);
+  const double target = total / static_cast<double>(beta);
+
+  std::vector<uint64_t> boundaries;
+  boundaries.reserve(beta - 1);
+  double acc = 0.0;
+  double next_cut = target;
+  for (uint64_t i = 0; i < n && boundaries.size() + 1 < beta; ++i) {
+    acc += static_cast<double>(data[i]);
+    // Close the bucket once its mass reaches the target, but never create an
+    // empty-width bucket and always leave room for the remaining cuts.
+    uint64_t remaining_cuts = beta - 1 - boundaries.size();
+    uint64_t last_start = boundaries.empty() ? 0 : boundaries.back();
+    bool must_cut = (n - (i + 1)) == remaining_cuts;  // else cannot fit rest
+    if ((acc >= next_cut && i + 1 > last_start && i + 1 < n) || must_cut) {
+      boundaries.push_back(i + 1);
+      next_cut += target;
+    }
+  }
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace pathest

@@ -1,0 +1,21 @@
+#include "histogram/builders.h"
+
+namespace pathest {
+
+Result<Histogram> BuildEquiWidth(const std::vector<uint64_t>& data,
+                                 size_t num_buckets) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const uint64_t n = data.size();
+  const uint64_t beta = std::min<uint64_t>(num_buckets, n);
+  std::vector<uint64_t> boundaries;
+  boundaries.reserve(beta - 1);
+  // i-th boundary at round(i * n / beta); strictly increasing because
+  // beta <= n.
+  for (uint64_t i = 1; i < beta; ++i) {
+    boundaries.push_back(i * n / beta);
+  }
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace pathest

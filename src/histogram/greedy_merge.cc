@@ -1,0 +1,108 @@
+#include <queue>
+
+#include "histogram/builders.h"
+
+namespace pathest {
+
+namespace {
+
+// Live bucket during greedy merging; linked-list via prev/next indexes.
+struct Node {
+  uint64_t begin;
+  uint64_t end;
+  double sum;
+  double sumsq;
+  int64_t prev;
+  int64_t next;
+  uint64_t version;  // bumped on every mutation to invalidate heap entries
+  bool alive;
+
+  double Sse() const {
+    double w = static_cast<double>(end - begin);
+    return sumsq - (sum * sum) / w;
+  }
+};
+
+struct Candidate {
+  double delta;  // SSE increase of merging node with its next neighbor
+  size_t node;
+  // Versions of the pair at creation; any later mutation invalidates them.
+  uint64_t left_version;
+  uint64_t right_version;
+  bool operator>(const Candidate& other) const { return delta > other.delta; }
+};
+
+double MergeDelta(const Node& a, const Node& b) {
+  double sum = a.sum + b.sum;
+  double sumsq = a.sumsq + b.sumsq;
+  double w = static_cast<double>(b.end - a.begin);
+  double merged_sse = sumsq - (sum * sum) / w;
+  return merged_sse - a.Sse() - b.Sse();
+}
+
+}  // namespace
+
+Result<Histogram> BuildVOptimalGreedy(const std::vector<uint64_t>& data,
+                                      size_t num_buckets) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const size_t n = data.size();
+  const size_t beta = std::min(num_buckets, n);
+
+  std::vector<Node> nodes(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = static_cast<double>(data[i]);
+    nodes[i] = Node{i, i + 1, v,       v * v,
+                    static_cast<int64_t>(i) - 1,
+                    i + 1 < n ? static_cast<int64_t>(i + 1) : -1,
+                    0,       true};
+  }
+
+  auto make_candidate = [&](size_t i) {
+    size_t j = static_cast<size_t>(nodes[i].next);
+    return Candidate{MergeDelta(nodes[i], nodes[j]), i, nodes[i].version,
+                     nodes[j].version};
+  };
+
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      heap;
+  for (size_t i = 0; i + 1 < n; ++i) heap.push(make_candidate(i));
+
+  size_t live = n;
+  while (live > beta) {
+    PATHEST_CHECK(!heap.empty(), "greedy merge heap exhausted early");
+    Candidate c = heap.top();
+    heap.pop();
+    Node& a = nodes[c.node];
+    if (!a.alive || a.next < 0 || c.left_version != a.version ||
+        c.right_version != nodes[a.next].version) {
+      continue;  // stale entry
+    }
+    Node& b = nodes[a.next];
+    // Merge b into a.
+    a.end = b.end;
+    a.sum += b.sum;
+    a.sumsq += b.sumsq;
+    a.next = b.next;
+    ++a.version;
+    b.alive = false;
+    ++b.version;
+    if (a.next >= 0) nodes[a.next].prev = static_cast<int64_t>(c.node);
+    --live;
+    // Refresh candidates with both neighbors.
+    if (a.prev >= 0) heap.push(make_candidate(static_cast<size_t>(a.prev)));
+    if (a.next >= 0) heap.push(make_candidate(c.node));
+  }
+
+  std::vector<uint64_t> boundaries;
+  boundaries.reserve(beta - 1);
+  for (size_t i = 0; i < n; ++i) {
+    if (nodes[i].alive && nodes[i].begin > 0) {
+      boundaries.push_back(nodes[i].begin);
+    }
+  }
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace pathest

@@ -1,0 +1,38 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "histogram/builders.h"
+
+namespace pathest {
+
+Result<Histogram> BuildMaxDiff(const std::vector<uint64_t>& data,
+                               size_t num_buckets) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const size_t n = data.size();
+  const size_t beta = std::min(num_buckets, n);
+  if (beta == 1 || n == 1) {
+    return Histogram::FromBoundaries(data, {});
+  }
+
+  // Positions 1..n-1 are possible boundaries; score = |data[i] - data[i-1]|.
+  std::vector<uint64_t> positions(n - 1);
+  std::iota(positions.begin(), positions.end(), 1);
+  std::nth_element(
+      positions.begin(), positions.begin() + (beta - 2), positions.end(),
+      [&](uint64_t a, uint64_t b) {
+        double da = std::abs(static_cast<double>(data[a]) -
+                             static_cast<double>(data[a - 1]));
+        double db = std::abs(static_cast<double>(data[b]) -
+                             static_cast<double>(data[b - 1]));
+        if (da != db) return da > db;
+        return a < b;  // deterministic tie-break
+      });
+  std::vector<uint64_t> boundaries(positions.begin(),
+                                   positions.begin() + (beta - 1));
+  std::sort(boundaries.begin(), boundaries.end());
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace pathest

@@ -1,0 +1,72 @@
+#include <limits>
+
+#include "histogram/builders.h"
+
+namespace pathest {
+
+Result<Histogram> BuildVOptimalExact(const std::vector<uint64_t>& data,
+                                     size_t num_buckets, size_t max_n) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const size_t n = data.size();
+  if (n > max_n) {
+    return Status::ResourceExhausted(
+        "exact V-optimal DP limited to " + std::to_string(max_n) +
+        " values (got " + std::to_string(n) +
+        "); use BuildVOptimalGreedy at scale");
+  }
+  const size_t beta = std::min(num_buckets, n);
+
+  // Prefix sums for O(1) range SSE.
+  std::vector<double> prefix_sum(n + 1, 0.0);
+  std::vector<double> prefix_sumsq(n + 1, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double v = static_cast<double>(data[i]);
+    prefix_sum[i + 1] = prefix_sum[i] + v;
+    prefix_sumsq[i + 1] = prefix_sumsq[i] + v * v;
+  }
+  auto range_sse = [&](size_t begin, size_t end) {
+    double s = prefix_sum[end] - prefix_sum[begin];
+    double ss = prefix_sumsq[end] - prefix_sumsq[begin];
+    double w = static_cast<double>(end - begin);
+    return ss - (s * s) / w;
+  };
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dp[i] = min SSE of covering the first i values with the current number
+  // of buckets; parent[b][i] = split point producing dp at (b, i).
+  std::vector<double> dp(n + 1, kInf);
+  std::vector<std::vector<uint32_t>> parent(
+      beta + 1, std::vector<uint32_t>(n + 1, 0));
+  for (size_t i = 1; i <= n; ++i) dp[i] = range_sse(0, i);
+
+  for (size_t b = 2; b <= beta; ++b) {
+    std::vector<double> next(n + 1, kInf);
+    // First i values need at least b buckets worth of positions: i >= b.
+    for (size_t i = b; i <= n; ++i) {
+      double best = kInf;
+      uint32_t best_j = 0;
+      for (size_t j = b - 1; j < i; ++j) {
+        double cost = dp[j] + range_sse(j, i);
+        if (cost < best) {
+          best = cost;
+          best_j = static_cast<uint32_t>(j);
+        }
+      }
+      next[i] = best;
+      parent[b][i] = best_j;
+    }
+    dp.swap(next);
+  }
+
+  // Backtrack boundaries.
+  std::vector<uint64_t> boundaries(beta - 1);
+  size_t i = n;
+  for (size_t b = beta; b >= 2; --b) {
+    i = parent[b][i];
+    boundaries[b - 2] = i;
+  }
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace pathest

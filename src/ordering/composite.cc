@@ -1,0 +1,85 @@
+#include "ordering/composite.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace pathest {
+
+CompositeBaseOrdering::CompositeBaseOrdering(
+    PathSpace space, const BaseLabelSet& base,
+    const SelectivityMap& base_selectivities)
+    : space_(space),
+      base_space_(base_selectivities.space()),
+      base_(base) {
+  PATHEST_CHECK(space_.num_labels() == base.num_labels(),
+                "base set label count mismatch");
+  PATHEST_CHECK(base_space_.num_labels() == space_.num_labels(),
+                "base selectivity space label count mismatch");
+  PATHEST_CHECK(base_space_.k() >= base.max_piece_length(),
+                "base selectivities do not cover the base set");
+  name_ = "sum-L" + std::to_string(base.max_piece_length());
+
+  // Rank base pieces by cardinality (lower f first, canonical tie-break).
+  std::vector<LabelPath> members = base.Members();
+  std::stable_sort(members.begin(), members.end(),
+                   [&](const LabelPath& a, const LabelPath& b) {
+                     return base_selectivities.Get(a) <
+                            base_selectivities.Get(b);
+                   });
+  piece_rank_by_canonical_.assign(base_space_.size(), 0);
+  piece_zero_by_canonical_.assign(base_space_.size(), 0);
+  for (uint64_t r = 0; r < members.size(); ++r) {
+    uint64_t canonical = base_space_.CanonicalIndex(members[r]);
+    piece_rank_by_canonical_[canonical] = r + 1;
+    piece_zero_by_canonical_[canonical] =
+        base_selectivities.Get(members[r]) == 0 ? 1 : 0;
+  }
+
+  // Materialize the permutation: sort L_k by (length, summed piece rank,
+  // canonical index).
+  std::vector<uint64_t> keys(space_.size());
+  space_.ForEach([&](const LabelPath& p) {
+    keys[space_.CanonicalIndex(p)] = SummedPieceRank(p);
+  });
+  canonical_of_index_.resize(space_.size());
+  std::iota(canonical_of_index_.begin(), canonical_of_index_.end(), 0);
+  std::stable_sort(
+      canonical_of_index_.begin(), canonical_of_index_.end(),
+      [&](uint64_t a, uint64_t b) {
+        const LabelPath pa = space_.CanonicalPath(a);
+        const LabelPath pb = space_.CanonicalPath(b);
+        if (pa.length() != pb.length()) return pa.length() < pb.length();
+        return keys[a] < keys[b];
+      });
+  index_of_canonical_.resize(space_.size());
+  for (uint64_t i = 0; i < canonical_of_index_.size(); ++i) {
+    index_of_canonical_[canonical_of_index_[i]] = i;
+  }
+}
+
+uint64_t CompositeBaseOrdering::SummedPieceRank(const LabelPath& path) const {
+  uint64_t total = 0;
+  for (const LabelPath& piece : GreedySplit(path, base_)) {
+    uint64_t canonical = base_space_.CanonicalIndex(piece);
+    uint64_t rank = piece_rank_by_canonical_[canonical];
+    PATHEST_CHECK(rank != 0, "piece missing from base ranking");
+    // Zero piece => zero path: collapse the key so all provably-empty paths
+    // are contiguous (key 0 precedes every real summed rank, which is >= 1).
+    if (piece_zero_by_canonical_[canonical] != 0) return 0;
+    total += rank;
+  }
+  return total;
+}
+
+uint64_t CompositeBaseOrdering::Rank(const LabelPath& path) const {
+  return index_of_canonical_[space_.CanonicalIndex(path)];
+}
+
+LabelPath CompositeBaseOrdering::Unrank(uint64_t index) const {
+  PATHEST_CHECK(index < canonical_of_index_.size(), "index out of range");
+  return space_.CanonicalPath(canonical_of_index_[index]);
+}
+
+}  // namespace pathest

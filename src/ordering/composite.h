@@ -1,0 +1,66 @@
+// pathest: composite base-set ordering — a prototype of the paper's primary
+// future-work direction (Section 5): ordering strategies "built over richer
+// base sets such as L2, towards capturing correlations between label paths".
+//
+// The ordering generalizes the sum-based idea: a path is greedily split into
+// pieces from a base set B (e.g. L2), every piece gets a cardinality rank
+// within B, and paths are keyed by
+//   (length, summed piece rank, canonical tie-break).
+// Because decompositions have variable piece counts, this prototype
+// materializes the permutation explicitly (O(|L_k|) memory, like the ideal
+// ordering) rather than deriving a closed-form unranking; a combinatorial
+// unranking over composite bases is exactly the open problem the paper
+// leaves for future work.
+
+#ifndef PATHEST_ORDERING_COMPOSITE_H_
+#define PATHEST_ORDERING_COMPOSITE_H_
+
+#include <string>
+#include <vector>
+
+#include "ordering/ordering.h"
+#include "path/selectivity.h"
+#include "path/splitter.h"
+
+namespace pathest {
+
+/// \brief Sum-style ordering over a richer base set with cardinality piece
+/// ranks ("sum-L2" for B = L2).
+class CompositeBaseOrdering : public Ordering {
+ public:
+  /// \param space the target path space L_k.
+  /// \param base base label set; must cover single labels.
+  /// \param base_selectivities exact selectivities over a space that
+  ///   contains every member of `base` (used to rank pieces by cardinality).
+  CompositeBaseOrdering(PathSpace space, const BaseLabelSet& base,
+                        const SelectivityMap& base_selectivities);
+
+  const std::string& name() const override { return name_; }
+  uint64_t Rank(const LabelPath& path) const override;
+  LabelPath Unrank(uint64_t index) const override;
+  const PathSpace& space() const override { return space_; }
+
+  /// \brief The sort key used for `path` (exposed for tests/diagnostics):
+  /// summed cardinality rank of its greedy decomposition, or 0 when any
+  /// piece has zero selectivity. The zero case is the payoff of the richer
+  /// base set: a zero piece implies a zero path (pairs must flow through
+  /// the piece), so all provably-empty paths cluster at the front of their
+  /// length block — knowledge the single-label base set cannot express.
+  uint64_t SummedPieceRank(const LabelPath& path) const;
+
+ private:
+  PathSpace space_;
+  std::string name_;
+  // Piece -> 1-based cardinality rank within the base set.
+  std::vector<uint64_t> piece_rank_by_canonical_;
+  // Piece -> whether its exact selectivity is zero.
+  std::vector<uint8_t> piece_zero_by_canonical_;
+  PathSpace base_space_;
+  BaseLabelSet base_;
+  std::vector<uint64_t> canonical_of_index_;
+  std::vector<uint64_t> index_of_canonical_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_COMPOSITE_H_

@@ -1,0 +1,43 @@
+// pathest: construction of ordering methods by name.
+
+#ifndef PATHEST_ORDERING_FACTORY_H_
+#define PATHEST_ORDERING_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "ordering/ordering.h"
+#include "path/selectivity.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief The five ordering methods of the paper's experimental study, in
+/// presentation order: num-alph, num-card, lex-alph, lex-card, sum-based.
+const std::vector<std::string>& PaperOrderingNames();
+
+/// \brief Builds an ordering method by name over `graph`'s label set.
+///
+/// Accepted names: "num-alph", "num-card", "lex-alph", "lex-card",
+/// "sum-based" ("sum-card" is an alias), "sum-alph", "gray-alph",
+/// "gray-card", and the "random" baseline.
+/// Cardinality-ranked methods use the graph's label cardinalities f(l).
+Result<OrderingPtr> MakeOrdering(const std::string& name, const Graph& graph,
+                                 size_t k);
+
+/// \brief Builds a closed-form ordering from label statistics alone (no
+/// graph needed) — the deserialization path. Same names as MakeOrdering.
+Result<OrderingPtr> MakeOrderingFromStats(
+    const std::string& name, const LabelDictionary& labels,
+    const std::vector<uint64_t>& label_cardinalities, size_t k);
+
+/// \brief Builds an ordering that needs exact path selectivities:
+/// all MakeOrdering names, plus "ideal" and "sum-L2".
+Result<OrderingPtr> MakeOrderingWithSelectivities(
+    const std::string& name, const Graph& graph, size_t k,
+    const SelectivityMap& selectivities);
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_FACTORY_H_

@@ -1,0 +1,44 @@
+// pathest: Gray-code ordering — an additional ordering strategy in the
+// paper's framework (an instance of the "expand the framework with
+// additional ordering strategies" direction of Section 5).
+//
+// Within each length block, rank-digit strings are enumerated in base-|L|
+// REFLECTED GRAY order: consecutive domain positions differ in exactly one
+// position by exactly one rank step. If label rank correlates with
+// cardinality (card ranking), this smooths the distribution — neighboring
+// paths differ by a single small rank change, so their frequencies tend to
+// be close, which is precisely what bucket variance wants. It keeps the
+// O(k) closed-form (un)ranking of the numerical ordering.
+
+#ifndef PATHEST_ORDERING_GRAY_H_
+#define PATHEST_ORDERING_GRAY_H_
+
+#include <string>
+
+#include "ordering/ordering.h"
+#include "ordering/ranking.h"
+
+namespace pathest {
+
+/// \brief Length-major, reflected-Gray-within-length ordering
+/// ("gray-alph" / "gray-card").
+class GrayOrdering : public Ordering {
+ public:
+  GrayOrdering(PathSpace space, LabelRanking ranking);
+
+  const std::string& name() const override { return name_; }
+  uint64_t Rank(const LabelPath& path) const override;
+  LabelPath Unrank(uint64_t index) const override;
+  const PathSpace& space() const override { return space_; }
+
+  const LabelRanking& ranking() const { return ranking_; }
+
+ private:
+  PathSpace space_;
+  LabelRanking ranking_;
+  std::string name_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_GRAY_H_

@@ -1,0 +1,32 @@
+#include "ordering/ideal.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/status.h"
+
+namespace pathest {
+
+IdealOrdering::IdealOrdering(const SelectivityMap& selectivities)
+    : space_(selectivities.space()), name_("ideal") {
+  const auto& f = selectivities.values();
+  canonical_of_index_.resize(f.size());
+  std::iota(canonical_of_index_.begin(), canonical_of_index_.end(), 0);
+  std::stable_sort(canonical_of_index_.begin(), canonical_of_index_.end(),
+                   [&](uint64_t a, uint64_t b) { return f[a] < f[b]; });
+  index_of_canonical_.resize(f.size());
+  for (uint64_t i = 0; i < canonical_of_index_.size(); ++i) {
+    index_of_canonical_[canonical_of_index_[i]] = i;
+  }
+}
+
+uint64_t IdealOrdering::Rank(const LabelPath& path) const {
+  return index_of_canonical_[space_.CanonicalIndex(path)];
+}
+
+LabelPath IdealOrdering::Unrank(uint64_t index) const {
+  PATHEST_CHECK(index < canonical_of_index_.size(), "index out of range");
+  return space_.CanonicalPath(canonical_of_index_[index]);
+}
+
+}  // namespace pathest

@@ -1,0 +1,41 @@
+// pathest: the ideal ordering (paper Section 3) — sort label paths by their
+// exact selectivity.
+//
+// The paper notes this ordering is "prohibitive": it needs O(|L_k|) memory
+// for the explicit index, the same budget that would store the exact
+// selectivities themselves. It is implemented here as the reference
+// upper-bound baseline for accuracy experiments and ablations.
+
+#ifndef PATHEST_ORDERING_IDEAL_H_
+#define PATHEST_ORDERING_IDEAL_H_
+
+#include <string>
+#include <vector>
+
+#include "ordering/ordering.h"
+#include "path/selectivity.h"
+
+namespace pathest {
+
+/// \brief Explicit permutation sorting paths by ascending selectivity
+/// (ties broken by canonical order for determinism).
+class IdealOrdering : public Ordering {
+ public:
+  /// \param selectivities exact f over the target space.
+  explicit IdealOrdering(const SelectivityMap& selectivities);
+
+  const std::string& name() const override { return name_; }
+  uint64_t Rank(const LabelPath& path) const override;
+  LabelPath Unrank(uint64_t index) const override;
+  const PathSpace& space() const override { return space_; }
+
+ private:
+  PathSpace space_;
+  std::string name_;
+  std::vector<uint64_t> canonical_of_index_;  // ordering index -> canonical
+  std::vector<uint64_t> index_of_canonical_;  // canonical -> ordering index
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_IDEAL_H_

@@ -1,0 +1,47 @@
+#include "ordering/lexicographic.h"
+
+#include "util/combinatorics.h"
+#include "util/status.h"
+
+namespace pathest {
+
+LexicographicOrdering::LexicographicOrdering(PathSpace space,
+                                             LabelRanking ranking)
+    : space_(space), ranking_(std::move(ranking)) {
+  PATHEST_CHECK(space_.num_labels() == ranking_.size(),
+                "ranking size mismatch with path space");
+  name_ = std::string("lex-") + RankingRuleName(ranking_.rule());
+  // T(k) = 1; T(d) = 1 + |L| * T(d+1).
+  subtree_.assign(space_.k() + 2, 0);
+  subtree_[space_.k()] = 1;
+  for (size_t d = space_.k(); d-- > 1;) {
+    subtree_[d] =
+        CheckedAdd(1, CheckedMul(space_.num_labels(), subtree_[d + 1]));
+  }
+}
+
+uint64_t LexicographicOrdering::Rank(const LabelPath& path) const {
+  PATHEST_CHECK(space_.Contains(path), "path outside space");
+  uint64_t index = path.length() - 1;
+  for (size_t i = 0; i < path.length(); ++i) {
+    uint64_t digit = ranking_.RankOf(path.label(i)) - 1;
+    index += digit * subtree_[i + 1];
+  }
+  return index;
+}
+
+LabelPath LexicographicOrdering::Unrank(uint64_t index) const {
+  PATHEST_CHECK(index < space_.size(), "index out of range");
+  LabelPath path;
+  uint64_t remaining = index;
+  for (size_t depth = 1; depth <= space_.k(); ++depth) {
+    uint64_t digit = remaining / subtree_[depth];
+    path.PushBack(ranking_.LabelAt(static_cast<uint32_t>(digit) + 1));
+    remaining -= digit * subtree_[depth];
+    if (remaining == 0) break;  // this node is the path itself
+    --remaining;                // skip the node, descend into its children
+  }
+  return path;
+}
+
+}  // namespace pathest

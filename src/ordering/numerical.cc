@@ -1,0 +1,45 @@
+#include "ordering/numerical.h"
+
+#include "util/status.h"
+
+namespace pathest {
+
+NumericalOrdering::NumericalOrdering(PathSpace space, LabelRanking ranking)
+    : space_(space), ranking_(std::move(ranking)) {
+  PATHEST_CHECK(space_.num_labels() == ranking_.size(),
+                "ranking size mismatch with path space");
+  name_ = std::string("num-") + RankingRuleName(ranking_.rule());
+}
+
+uint64_t NumericalOrdering::Rank(const LabelPath& path) const {
+  PATHEST_CHECK(space_.Contains(path), "path outside space");
+  const size_t len = path.length();
+  const uint64_t base = space_.num_labels();
+  uint64_t radix = 0;
+  for (size_t i = 0; i < len; ++i) {
+    radix = radix * base + (ranking_.RankOf(path.label(i)) - 1);
+  }
+  return space_.LengthOffset(len) + radix;
+}
+
+LabelPath NumericalOrdering::Unrank(uint64_t index) const {
+  PATHEST_CHECK(index < space_.size(), "index out of range");
+  size_t len = 1;
+  while (index >= space_.LengthOffset(len) + space_.CountWithLength(len)) {
+    ++len;
+  }
+  uint64_t radix = index - space_.LengthOffset(len);
+  const uint64_t base = space_.num_labels();
+  uint64_t pow = 1;
+  for (size_t i = 1; i < len; ++i) pow *= base;
+  LabelPath path;
+  for (size_t i = 0; i < len; ++i) {
+    uint32_t digit = static_cast<uint32_t>(radix / pow);
+    path.PushBack(ranking_.LabelAt(digit + 1));
+    radix %= pow;
+    pow /= base;
+  }
+  return path;
+}
+
+}  // namespace pathest

@@ -1,0 +1,38 @@
+// pathest: numerical ordering (paper Section 3.2).
+//
+// Paths are ordered primarily by length; equal-length paths compare their
+// rank sequences pairwise — i.e., a length-m path is read as an m-digit
+// number in a base-|L| numeral system.
+
+#ifndef PATHEST_ORDERING_NUMERICAL_H_
+#define PATHEST_ORDERING_NUMERICAL_H_
+
+#include <string>
+
+#include "ordering/ordering.h"
+#include "ordering/ranking.h"
+
+namespace pathest {
+
+/// \brief Numerical ordering over a path space with a given label ranking
+/// ("num-alph" / "num-card").
+class NumericalOrdering : public Ordering {
+ public:
+  NumericalOrdering(PathSpace space, LabelRanking ranking);
+
+  const std::string& name() const override { return name_; }
+  uint64_t Rank(const LabelPath& path) const override;
+  LabelPath Unrank(uint64_t index) const override;
+  const PathSpace& space() const override { return space_; }
+
+  const LabelRanking& ranking() const { return ranking_; }
+
+ private:
+  PathSpace space_;
+  LabelRanking ranking_;
+  std::string name_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_NUMERICAL_H_

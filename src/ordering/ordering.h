@@ -1,0 +1,53 @@
+// pathest: the Ordering interface — a bijection between L_k and
+// [0, |L_k|) (paper Sections 2-3).
+//
+// An ordering method combines a ranking rule over base labels with an
+// ordering rule over rank sequences. Concrete orderings:
+//   numerical (ordering/numerical.h), lexicographical
+//   (ordering/lexicographic.h), sum-based (ordering/sum_based.h),
+//   ideal (ordering/ideal.h), and the L2 composite prototype
+//   (ordering/composite.h). Use ordering/factory.h to construct by name.
+
+#ifndef PATHEST_ORDERING_ORDERING_H_
+#define PATHEST_ORDERING_ORDERING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "path/label_path.h"
+#include "path/path_space.h"
+
+namespace pathest {
+
+/// \brief Bijection between label paths and histogram-domain indexes.
+///
+/// Implementations must satisfy, for every path p in the space and every
+/// index i in [0, size()):
+///   Unrank(Rank(p)) == p  and  Rank(Unrank(i)) == i.
+class Ordering {
+ public:
+  virtual ~Ordering() = default;
+
+  /// \brief Human-readable method name, e.g. "num-card" or "sum-based".
+  virtual const std::string& name() const = 0;
+
+  /// \brief index(ℓ): the domain position of `path`. Path must lie in
+  /// space().
+  virtual uint64_t Rank(const LabelPath& path) const = 0;
+
+  /// \brief The path at domain position `index` (< size()).
+  virtual LabelPath Unrank(uint64_t index) const = 0;
+
+  /// \brief The underlying path space L_k.
+  virtual const PathSpace& space() const = 0;
+
+  /// \brief Domain size |L_k|.
+  uint64_t size() const { return space().size(); }
+};
+
+using OrderingPtr = std::unique_ptr<Ordering>;
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_ORDERING_H_

@@ -1,0 +1,35 @@
+#include "ordering/random_order.h"
+
+#include <numeric>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pathest {
+
+RandomOrdering::RandomOrdering(PathSpace space, uint64_t seed)
+    : space_(space), name_("random") {
+  canonical_of_index_.resize(space_.size());
+  std::iota(canonical_of_index_.begin(), canonical_of_index_.end(), 0);
+  Rng rng(seed);
+  // Fisher-Yates with the library RNG for cross-platform determinism.
+  for (uint64_t i = canonical_of_index_.size(); i > 1; --i) {
+    std::swap(canonical_of_index_[i - 1],
+              canonical_of_index_[rng.NextBounded(i)]);
+  }
+  index_of_canonical_.resize(space_.size());
+  for (uint64_t i = 0; i < canonical_of_index_.size(); ++i) {
+    index_of_canonical_[canonical_of_index_[i]] = i;
+  }
+}
+
+uint64_t RandomOrdering::Rank(const LabelPath& path) const {
+  return index_of_canonical_[space_.CanonicalIndex(path)];
+}
+
+LabelPath RandomOrdering::Unrank(uint64_t index) const {
+  PATHEST_CHECK(index < canonical_of_index_.size(), "index out of range");
+  return space_.CanonicalPath(canonical_of_index_[index]);
+}
+
+}  // namespace pathest

@@ -1,0 +1,39 @@
+// pathest: random ordering — the adversarial baseline.
+//
+// A seeded uniform permutation of the domain. No structure survives, so
+// bucket variance is maximal for any histogram; the gap between random and
+// the structured orderings quantifies how much ordering matters at all
+// (the framing question of the paper). Materializes the permutation
+// explicitly, so like the ideal ordering it is an experimental baseline, not
+// a deployable method.
+
+#ifndef PATHEST_ORDERING_RANDOM_ORDER_H_
+#define PATHEST_ORDERING_RANDOM_ORDER_H_
+
+#include <string>
+#include <vector>
+
+#include "ordering/ordering.h"
+
+namespace pathest {
+
+/// \brief Seeded random permutation of L_k ("random").
+class RandomOrdering : public Ordering {
+ public:
+  RandomOrdering(PathSpace space, uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  uint64_t Rank(const LabelPath& path) const override;
+  LabelPath Unrank(uint64_t index) const override;
+  const PathSpace& space() const override { return space_; }
+
+ private:
+  PathSpace space_;
+  std::string name_;
+  std::vector<uint64_t> canonical_of_index_;
+  std::vector<uint64_t> index_of_canonical_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_RANDOM_ORDER_H_

@@ -1,0 +1,78 @@
+#include "ordering/ranking.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pathest {
+
+const char* RankingRuleName(RankingRule rule) {
+  switch (rule) {
+    case RankingRule::kAlphabetical:
+      return "alph";
+    case RankingRule::kCardinality:
+      return "card";
+  }
+  return "?";
+}
+
+LabelRanking::LabelRanking(RankingRule rule, std::vector<uint32_t> rank_of)
+    : rule_(rule), rank_of_(std::move(rank_of)) {
+  label_at_.resize(rank_of_.size());
+  for (LabelId l = 0; l < rank_of_.size(); ++l) {
+    PATHEST_CHECK(rank_of_[l] >= 1 && rank_of_[l] <= rank_of_.size(),
+                  "rank out of range");
+    label_at_[rank_of_[l] - 1] = l;
+  }
+}
+
+LabelRanking LabelRanking::Alphabetical(const LabelDictionary& dict) {
+  std::vector<LabelId> order(dict.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](LabelId a, LabelId b) {
+    return dict.Name(a) < dict.Name(b);
+  });
+  std::vector<uint32_t> rank_of(dict.size());
+  for (uint32_t r = 0; r < order.size(); ++r) rank_of[order[r]] = r + 1;
+  return LabelRanking(RankingRule::kAlphabetical, std::move(rank_of));
+}
+
+LabelRanking LabelRanking::Cardinality(
+    const LabelDictionary& dict, const std::vector<uint64_t>& cardinalities) {
+  PATHEST_CHECK(cardinalities.size() == dict.size(),
+                "cardinalities size mismatch");
+  std::vector<LabelId> order(dict.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](LabelId a, LabelId b) {
+    if (cardinalities[a] != cardinalities[b]) {
+      return cardinalities[a] < cardinalities[b];
+    }
+    return dict.Name(a) < dict.Name(b);
+  });
+  std::vector<uint32_t> rank_of(dict.size());
+  for (uint32_t r = 0; r < order.size(); ++r) rank_of[order[r]] = r + 1;
+  return LabelRanking(RankingRule::kCardinality, std::move(rank_of));
+}
+
+LabelRanking LabelRanking::Make(RankingRule rule, const LabelDictionary& dict,
+                                const std::vector<uint64_t>& cardinalities) {
+  switch (rule) {
+    case RankingRule::kAlphabetical:
+      return Alphabetical(dict);
+    case RankingRule::kCardinality:
+      return Cardinality(dict, cardinalities);
+  }
+  PATHEST_CHECK(false, "unknown RankingRule");
+  __builtin_unreachable();
+}
+
+uint32_t LabelRanking::RankOf(LabelId label) const {
+  PATHEST_CHECK(label < rank_of_.size(), "label id out of range");
+  return rank_of_[label];
+}
+
+LabelId LabelRanking::LabelAt(uint32_t rank) const {
+  PATHEST_CHECK(rank >= 1 && rank <= label_at_.size(), "rank out of range");
+  return label_at_[rank - 1];
+}
+
+}  // namespace pathest

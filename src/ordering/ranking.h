@@ -1,0 +1,65 @@
+// pathest: ranking rules over the base label set (paper Section 3.1).
+//
+// A ranking rule is a bijection between the edge label set L and [1, |L|].
+// Two rules are defined by the paper: alphabetical (by label name) and
+// cardinality (by f(l), lower cardinality first). Composed with an ordering
+// rule (numerical / lexicographical / sum-based) it yields a full ordering
+// method such as "num-card".
+
+#ifndef PATHEST_ORDERING_RANKING_H_
+#define PATHEST_ORDERING_RANKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Which ranking rule a LabelRanking was built with.
+enum class RankingRule {
+  kAlphabetical,
+  kCardinality,
+};
+
+/// \brief Short name: "alph" or "card".
+const char* RankingRuleName(RankingRule rule);
+
+/// \brief A bijection LabelId <-> rank in [1, |L|].
+class LabelRanking {
+ public:
+  /// \brief Alphabetical ranking: rank 1 = lexicographically smallest name.
+  static LabelRanking Alphabetical(const LabelDictionary& dict);
+
+  /// \brief Cardinality ranking: rank 1 = lowest f(l) (paper: a label with
+  /// lower cardinality precedes one with higher cardinality). Ties broken by
+  /// label name for determinism.
+  static LabelRanking Cardinality(const LabelDictionary& dict,
+                                  const std::vector<uint64_t>& cardinalities);
+
+  /// \brief Builds the ranking named by `rule`.
+  static LabelRanking Make(RankingRule rule, const LabelDictionary& dict,
+                           const std::vector<uint64_t>& cardinalities);
+
+  /// \brief Rank of a label, in [1, size()].
+  uint32_t RankOf(LabelId label) const;
+
+  /// \brief Label with the given rank (inverse bijection).
+  LabelId LabelAt(uint32_t rank) const;
+
+  size_t size() const { return rank_of_.size(); }
+  RankingRule rule() const { return rule_; }
+
+ private:
+  LabelRanking(RankingRule rule, std::vector<uint32_t> rank_of);
+
+  RankingRule rule_;
+  std::vector<uint32_t> rank_of_;   // LabelId -> rank (1-based)
+  std::vector<LabelId> label_at_;   // rank-1 -> LabelId
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_RANKING_H_

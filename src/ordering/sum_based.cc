@@ -1,0 +1,222 @@
+#include "ordering/sum_based.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace pathest {
+
+std::vector<uint32_t> UnrankPermutationOfCombination(
+    uint64_t index, const std::vector<uint32_t>& combination) {
+  PATHEST_CHECK(!combination.empty(), "empty combination");
+  PATHEST_CHECK(std::is_sorted(combination.begin(), combination.end()),
+                "combination must be sorted ascending");
+  PATHEST_CHECK(index < MultisetPermutationCount(combination),
+                "permutation index out of range");
+  if (combination.size() == 1) return combination;
+
+  size_t i = 0;
+  while (i < combination.size()) {
+    // S = combination minus one occurrence of combination[i]; nop(S) is the
+    // number of permutations whose first element is combination[i].
+    std::vector<uint32_t> rest = combination;
+    rest.erase(rest.begin() + static_cast<ptrdiff_t>(i));
+    uint64_t block = MultisetPermutationCount(rest);
+    if (index >= block) {
+      index -= block;
+      // Skip all duplicates of this value: they index the same block.
+      uint32_t value = combination[i];
+      while (i < combination.size() && combination[i] == value) ++i;
+      continue;
+    }
+    std::vector<uint32_t> sub = UnrankPermutationOfCombination(index, rest);
+    sub.insert(sub.begin(), combination[i]);
+    return sub;
+  }
+  PATHEST_CHECK(false, "unreachable: index within nop but not unranked");
+  __builtin_unreachable();
+}
+
+uint64_t RankPermutationInCombination(const std::vector<uint32_t>& permutation,
+                                      std::vector<uint32_t> combination) {
+  PATHEST_CHECK(permutation.size() == combination.size(),
+                "permutation/combination size mismatch");
+  uint64_t rank = 0;
+  std::vector<uint32_t> remaining = std::move(combination);
+  for (uint32_t head : permutation) {
+    // All permutations starting with a smaller distinct value come first.
+    for (size_t i = 0; i < remaining.size(); ++i) {
+      if (i > 0 && remaining[i] == remaining[i - 1]) continue;  // same block
+      if (remaining[i] >= head) break;
+      std::vector<uint32_t> rest = remaining;
+      rest.erase(rest.begin() + static_cast<ptrdiff_t>(i));
+      rank += MultisetPermutationCount(rest);
+    }
+    auto it = std::find(remaining.begin(), remaining.end(), head);
+    PATHEST_CHECK(it != remaining.end(),
+                  "permutation is not a permutation of the combination");
+    remaining.erase(it);
+  }
+  return rank;
+}
+
+SumBasedOrdering::SumBasedOrdering(PathSpace space, LabelRanking ranking)
+    : space_(space),
+      ranking_(std::move(ranking)),
+      comps_(space.num_labels(), space.k()) {
+  PATHEST_CHECK(space_.num_labels() == ranking_.size(),
+                "ranking size mismatch with path space");
+  // The paper's "sum-based" method is sum ordering + cardinality ranking;
+  // keep the short name for that standard combination.
+  name_ = ranking_.rule() == RankingRule::kCardinality
+              ? "sum-based"
+              : std::string("sum-") + RankingRuleName(ranking_.rule());
+
+  const uint64_t num_labels = space_.num_labels();
+  blocks_.resize(space_.k());
+  for (size_t m = 1; m <= space_.k(); ++m) {
+    auto& row = blocks_[m - 1];
+    row.resize(m * num_labels - m + 1);
+    for (uint64_t sr = m; sr <= m * num_labels; ++sr) {
+      auto& blocks = row[sr - m];
+      uint64_t offset = 0;
+      for (Partition& p : EnumeratePartitions(sr, m, num_labels)) {
+        uint64_t nop = MultisetPermutationCount(p);
+        blocks.push_back(ComboBlock{std::move(p), nop, offset});
+        offset += nop;
+      }
+    }
+  }
+}
+
+const std::vector<SumBasedOrdering::ComboBlock>& SumBasedOrdering::BlocksFor(
+    size_t m, uint64_t sr) const {
+  PATHEST_CHECK(m >= 1 && m <= space_.k(), "length out of range");
+  PATHEST_CHECK(sr >= m && sr <= m * space_.num_labels(),
+                "summed rank out of range");
+  return blocks_[m - 1][sr - m];
+}
+
+namespace {
+
+constexpr uint64_t kFactorial[17] = {1,
+                                     1,
+                                     2,
+                                     6,
+                                     24,
+                                     120,
+                                     720,
+                                     5040,
+                                     40320,
+                                     362880,
+                                     3628800,
+                                     39916800,
+                                     479001600,
+                                     6227020800ULL,
+                                     87178291200ULL,
+                                     1307674368000ULL,
+                                     20922789888000ULL};
+
+}  // namespace
+
+uint64_t SumBasedOrdering::Rank(const LabelPath& path) const {
+  PATHEST_CHECK(space_.Contains(path), "path outside space");
+  const size_t m = path.length();
+  const uint32_t num_labels = static_cast<uint32_t>(space_.num_labels());
+
+  // Allocation-free hot path: this function is the per-query latency cost
+  // the paper's Table 4 measures.
+  uint32_t ranks[kMaxPathLength];
+  uint32_t combo[kMaxPathLength];
+  uint64_t sr = 0;
+  for (size_t i = 0; i < m; ++i) {
+    ranks[i] = ranking_.RankOf(path.label(i));
+    combo[i] = ranks[i];
+    sr += ranks[i];
+  }
+  // Insertion sort; m <= 16.
+  for (size_t i = 1; i < m; ++i) {
+    uint32_t v = combo[i];
+    size_t j = i;
+    while (j > 0 && combo[j - 1] > v) {
+      combo[j] = combo[j - 1];
+      --j;
+    }
+    combo[j] = v;
+  }
+
+  // Stage 1: all shorter lengths precede.
+  uint64_t index = space_.LengthOffset(m);
+  // Stage 2: all lower summed ranks precede.
+  for (uint64_t s = m; s < sr; ++s) index += comps_.Count(s, m);
+  // Stage 3: the block of our rank multiset.
+  for (const ComboBlock& block : BlocksFor(m, sr)) {
+    if (block.parts.size() == m &&
+        std::equal(block.parts.begin(), block.parts.end(), combo)) {
+      index += block.offset;
+      break;
+    }
+  }
+
+  // Permutation position within the block (inverse of Algorithm 1), via
+  // multiplicity counts: with counts c over remaining values and
+  // D = prod c_w!, the number of permutations starting with value v is
+  // (n-1)! * c_v / D.
+  uint32_t counts[65] = {0};
+  uint64_t denom = 1;
+  for (size_t i = 0; i < m; ++i) {
+    ++counts[ranks[i]];
+    denom *= counts[ranks[i]];  // running product builds prod c_w!
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const uint32_t head = ranks[i];
+    const uint64_t rest_fact = kFactorial[m - i - 1];
+    for (uint32_t v = 1; v < head && v <= num_labels; ++v) {
+      if (counts[v] > 0) {
+        index += rest_fact * counts[v] / denom;
+      }
+    }
+    denom /= counts[head];
+    --counts[head];
+  }
+  return index;
+}
+
+LabelPath SumBasedOrdering::Unrank(uint64_t index) const {
+  PATHEST_CHECK(index < space_.size(), "index out of range");
+  const uint64_t num_labels = space_.num_labels();
+  // Stage 1: find the length partition (paper Algorithm 2, lines 5-9).
+  for (size_t len = 1; len <= space_.k(); ++len) {
+    uint64_t len_count = space_.CountWithLength(len);
+    if (index >= len_count) {
+      index -= len_count;
+      continue;
+    }
+    // Stage 2: find the summed-rank partition (lines 10-14).
+    for (uint64_t sum = len; sum <= len * num_labels; ++sum) {
+      uint64_t sum_count = comps_.Count(sum, len);
+      if (index >= sum_count) {
+        index -= sum_count;
+        continue;
+      }
+      // Stage 3: find the combination, then the permutation (lines 15-24).
+      for (const ComboBlock& block : BlocksFor(len, sum)) {
+        if (index >= block.nop) {
+          index -= block.nop;
+          continue;
+        }
+        std::vector<uint32_t> perm =
+            UnrankPermutationOfCombination(index, block.parts);
+        LabelPath path;
+        for (uint32_t rank : perm) path.PushBack(ranking_.LabelAt(rank));
+        return path;
+      }
+      PATHEST_CHECK(false, "index within sum partition but no combination");
+    }
+    PATHEST_CHECK(false, "index within length partition but no sum");
+  }
+  PATHEST_CHECK(false, "unreachable: index checked against space size");
+  __builtin_unreachable();
+}
+
+}  // namespace pathest

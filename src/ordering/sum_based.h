@@ -1,0 +1,88 @@
+// pathest: sum-based ordering (paper Section 3.3) — the paper's primary
+// contribution.
+//
+// The index of a path approximates its cardinality through the SUM of its
+// base-label ranks, via a three-stage partitioning of the domain:
+//   stage 1: by path length (shorter first); partition size |L|^m,
+//   stage 2: within a length, by summed rank sr (lower first); partition
+//            size = CompositionCount(sr, m, |L|)  (Formula 3),
+//   stage 3: within a summed rank, by the rank multiset (integer partition
+//            of sr into m parts in [1, |L|], Formula 4), enumerated with the
+//            multiplicity of the largest part ascending; partition size =
+//            MultisetPermutationCount (Formula 5); finally by the concrete
+//            permutation in the order of the paper's Algorithm 1.
+//
+// Rank() is the forward bijection (the inverse of the paper's Algorithm 2);
+// Unrank() is Algorithm 2 itself, delegating to Algorithm 1 for the
+// in-partition permutation.
+
+#ifndef PATHEST_ORDERING_SUM_BASED_H_
+#define PATHEST_ORDERING_SUM_BASED_H_
+
+#include <string>
+#include <vector>
+
+#include "ordering/ordering.h"
+#include "ordering/ranking.h"
+#include "util/combinatorics.h"
+
+namespace pathest {
+
+/// \brief Unranking a permutation of a multiset (paper Algorithm 1).
+///
+/// \param index position in [0, MultisetPermutationCount(combination)).
+/// \param combination multiset of values, sorted ascending.
+/// \return the index-th distinct permutation, where permutations are ordered
+///   by their first element (ascending over distinct values), then
+///   recursively.
+std::vector<uint32_t> UnrankPermutationOfCombination(
+    uint64_t index, const std::vector<uint32_t>& combination);
+
+/// \brief Inverse of UnrankPermutationOfCombination.
+///
+/// \param permutation a permutation of `combination`.
+/// \param combination multiset sorted ascending.
+uint64_t RankPermutationInCombination(const std::vector<uint32_t>& permutation,
+                                      std::vector<uint32_t> combination);
+
+/// \brief Sum-based ordering. The paper pairs it with cardinality ranking
+/// (method name "sum-based"); any LabelRanking is accepted, enabling the
+/// sum-alph ablation.
+class SumBasedOrdering : public Ordering {
+ public:
+  SumBasedOrdering(PathSpace space, LabelRanking ranking);
+
+  const std::string& name() const override { return name_; }
+  uint64_t Rank(const LabelPath& path) const override;
+  LabelPath Unrank(uint64_t index) const override;
+  const PathSpace& space() const override { return space_; }
+
+  const LabelRanking& ranking() const { return ranking_; }
+
+ private:
+  // One stage-three partition block: a combination (ascending rank multiset),
+  // its permutation count, and its starting offset within the (length, sum)
+  // stage-two partition.
+  struct ComboBlock {
+    Partition parts;
+    uint64_t nop;
+    uint64_t offset;
+  };
+
+  // Cached stage-three blocks for (m, sr); the enumeration is tiny
+  // (O(k^2 |L|) distinct (m, sr) pairs, a handful of partitions each) but
+  // re-deriving it on every Rank/Unrank dominates query latency, so it is
+  // materialized once at construction.
+  const std::vector<ComboBlock>& BlocksFor(size_t m, uint64_t sr) const;
+
+  PathSpace space_;
+  LabelRanking ranking_;
+  std::string name_;
+  CompositionTable comps_;
+  // blocks_[m - 1][sr - m] for sr in [m, m * |L|].
+  std::vector<std::vector<std::vector<ComboBlock>>> blocks_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ORDERING_SUM_BASED_H_

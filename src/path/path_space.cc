@@ -1,0 +1,93 @@
+#include "path/path_space.h"
+
+#include "util/combinatorics.h"
+
+namespace pathest {
+
+PathSpace::PathSpace(size_t num_labels, size_t k)
+    : num_labels_(num_labels), k_(k) {
+  PATHEST_CHECK(num_labels >= 1, "PathSpace requires >= 1 label");
+  PATHEST_CHECK(k >= 1 && k <= kMaxPathLength, "PathSpace k out of range");
+  uint64_t offset = 0;
+  uint64_t pow = 1;
+  offsets_[1] = 0;
+  for (size_t len = 1; len <= k; ++len) {
+    pow = CheckedMul(pow, num_labels);
+    offset = CheckedAdd(offset, pow);
+    offsets_[len + 1] = offset;
+  }
+  size_ = offset;
+}
+
+uint64_t PathSpace::CountWithLength(size_t len) const {
+  PATHEST_CHECK(len >= 1 && len <= k_, "length out of range");
+  return offsets_[len + 1] - offsets_[len];
+}
+
+uint64_t PathSpace::LengthOffset(size_t len) const {
+  PATHEST_CHECK(len >= 1 && len <= k_, "length out of range");
+  return offsets_[len];
+}
+
+uint64_t PathSpace::CanonicalIndex(const LabelPath& path) const {
+  PATHEST_CHECK(Contains(path), "path outside this space");
+  const size_t len = path.length();
+  uint64_t radix = 0;
+  for (size_t i = 0; i < len; ++i) {
+    radix = radix * num_labels_ + path.label(i);
+  }
+  return offsets_[len] + radix;
+}
+
+LabelPath PathSpace::CanonicalPath(uint64_t index) const {
+  PATHEST_CHECK(index < size_, "canonical index out of range");
+  size_t len = 1;
+  while (index >= offsets_[len + 1]) ++len;
+  uint64_t radix = index - offsets_[len];
+  LabelPath path;
+  // Decode most-significant digit first.
+  uint64_t pow = 1;
+  for (size_t i = 1; i < len; ++i) pow *= num_labels_;
+  for (size_t i = 0; i < len; ++i) {
+    path.PushBack(static_cast<LabelId>(radix / pow));
+    radix %= pow;
+    pow /= num_labels_;
+  }
+  return path;
+}
+
+bool PathSpace::Contains(const LabelPath& path) const {
+  if (path.empty() || path.length() > k_) return false;
+  for (size_t i = 0; i < path.length(); ++i) {
+    if (path.label(i) >= num_labels_) return false;
+  }
+  return true;
+}
+
+void PathSpace::ForEach(const std::function<void(const LabelPath&)>& fn) const {
+  // Canonical order is length-major, radix-by-id within a length: run an
+  // odometer over `len` base-|L| digits for each length.
+  std::array<LabelId, kMaxPathLength> digits{};
+  for (size_t len = 1; len <= k_; ++len) {
+    digits.fill(0);
+    bool done = false;
+    while (!done) {
+      LabelPath path;
+      for (size_t i = 0; i < len; ++i) path.PushBack(digits[i]);
+      fn(path);
+      // Increment least-significant digit with carry.
+      size_t pos = len;
+      done = true;
+      while (pos > 0) {
+        --pos;
+        if (++digits[pos] < num_labels_) {
+          done = false;
+          break;
+        }
+        digits[pos] = 0;
+      }
+    }
+  }
+}
+
+}  // namespace pathest

@@ -1,0 +1,64 @@
+// pathest: the path space L_k — all label paths of length 1..k over a label
+// set — and its canonical dense indexing.
+//
+// The canonical index is length-major, then radix-by-label-id. It is the
+// num-alph ordering applied to raw label ids and serves as the storage key
+// for selectivity maps and distributions; every user-facing ordering is a
+// bijection between [0, |L_k|) and canonical indexes.
+
+#ifndef PATHEST_PATH_PATH_SPACE_H_
+#define PATHEST_PATH_PATH_SPACE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "path/label_path.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief The set L_k of label paths with length in [1, k] over `num_labels`
+/// labels, with O(k) canonical (un)ranking.
+class PathSpace {
+ public:
+  /// \param num_labels |L| >= 1.
+  /// \param k maximum path length, 1 <= k <= kMaxPathLength.
+  PathSpace(size_t num_labels, size_t k);
+
+  size_t num_labels() const { return num_labels_; }
+  size_t k() const { return k_; }
+
+  /// \brief |L_k| = sum_{i=1..k} |L|^i.
+  uint64_t size() const { return size_; }
+
+  /// \brief Number of paths of exactly `len` labels: |L|^len.
+  uint64_t CountWithLength(size_t len) const;
+
+  /// \brief Canonical index of first path with `len` labels.
+  uint64_t LengthOffset(size_t len) const;
+
+  /// \brief Canonical index of `path`. Path labels must be < num_labels and
+  /// length within [1, k].
+  uint64_t CanonicalIndex(const LabelPath& path) const;
+
+  /// \brief Inverse of CanonicalIndex. `index` must be < size().
+  LabelPath CanonicalPath(uint64_t index) const;
+
+  /// \brief True when `path` belongs to this space.
+  bool Contains(const LabelPath& path) const;
+
+  /// \brief Invokes `fn` for every path in canonical order.
+  void ForEach(const std::function<void(const LabelPath&)>& fn) const;
+
+ private:
+  size_t num_labels_;
+  size_t k_;
+  uint64_t size_;
+  // offsets_[len] = canonical index of the first length-(len) path;
+  // offsets_[k_ + 1] = size().
+  std::array<uint64_t, kMaxPathLength + 2> offsets_{};
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_PATH_PATH_SPACE_H_

@@ -1,0 +1,290 @@
+#include "path/selectivity.h"
+
+#include <algorithm>
+
+namespace pathest {
+
+SelectivityMap::SelectivityMap(PathSpace space)
+    : space_(space), values_(space.size(), 0) {}
+
+uint64_t SelectivityMap::Get(const LabelPath& path) const {
+  return values_[space_.CanonicalIndex(path)];
+}
+
+uint64_t SelectivityMap::GetByCanonicalIndex(uint64_t index) const {
+  PATHEST_CHECK(index < values_.size(), "canonical index out of range");
+  return values_[index];
+}
+
+void SelectivityMap::Set(const LabelPath& path, uint64_t value) {
+  values_[space_.CanonicalIndex(path)] = value;
+}
+
+uint64_t SelectivityMap::Total() const {
+  uint64_t total = 0;
+  for (uint64_t v : values_) total += v;
+  return total;
+}
+
+uint64_t SelectivityMap::CountNonZero() const {
+  uint64_t count = 0;
+  for (uint64_t v : values_) count += (v != 0);
+  return count;
+}
+
+namespace {
+
+// Distinct pair set of one path prefix, grouped by source vertex.
+// targets[offsets[i] .. offsets[i+1]) are the distinct endpoints reachable
+// from srcs[i]; they are NOT sorted (the evaluator only needs counts and
+// further extension, both order-independent and deterministic).
+struct PairSet {
+  std::vector<VertexId> srcs;
+  std::vector<uint64_t> offsets;  // size srcs.size() + 1
+  std::vector<VertexId> targets;
+
+  uint64_t size() const { return targets.size(); }
+  void Clear() {
+    srcs.clear();
+    offsets.clear();
+    targets.clear();
+  }
+};
+
+// Shared scratch for distinct-marking across the whole DFS.
+class Marker {
+ public:
+  explicit Marker(size_t num_vertices) : epoch_of_(num_vertices, 0) {}
+
+  // Starts a new distinct-set scope.
+  void NextEpoch() { ++epoch_; }
+
+  // Returns true the first time `v` is seen in the current scope.
+  bool Mark(VertexId v) {
+    if (epoch_of_[v] == epoch_) return false;
+    epoch_of_[v] = epoch_;
+    return true;
+  }
+
+ private:
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> epoch_of_;
+};
+
+// Builds the level-1 pair set for label `l` directly from the CSR.
+void InitialPairSet(const Graph& graph, LabelId l, PairSet* out) {
+  out->Clear();
+  out->offsets.push_back(0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.OutNeighbors(v, l);
+    if (nbrs.empty()) continue;
+    out->srcs.push_back(v);
+    // CSR targets can contain no duplicates (edge set semantics), so the
+    // span is already a distinct target list.
+    out->targets.insert(out->targets.end(), nbrs.begin(), nbrs.end());
+    out->offsets.push_back(out->targets.size());
+  }
+}
+
+// parent ⋈ label -> child: for every (s, t) in parent and t -l-> u, emit the
+// distinct (s, u). Uses the unchecked CSR view: this loop dominates the cost
+// of ComputeSelectivities.
+void ExtendPairSet(const Graph& graph, const PairSet& parent, LabelId l,
+                   Marker* marker, PairSet* child) {
+  child->Clear();
+  child->offsets.push_back(0);
+  const Graph::CsrView adj = graph.ForwardView(l);
+  for (size_t i = 0; i < parent.srcs.size(); ++i) {
+    marker->NextEpoch();
+    const size_t before = child->targets.size();
+    for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
+      const VertexId t = parent.targets[j];
+      for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+        const VertexId u = adj.targets[e];
+        if (marker->Mark(u)) child->targets.push_back(u);
+      }
+    }
+    if (child->targets.size() > before) {
+      child->srcs.push_back(parent.srcs[i]);
+      child->offsets.push_back(child->targets.size());
+    }
+  }
+}
+
+// Fused leaf counter: computes the distinct-pair counts of ALL single-label
+// extensions of a parent in one pass. Children at the deepest DFS level are
+// never extended further, so their pair sets need not be materialized —
+// only counted. A per-vertex epoch plus a per-label bitmask provides
+// distinctness for every label simultaneously. The leaf level holds the
+// vast majority (a fraction (|L|-1)/|L|) of all nodes, so this pass
+// dominates evaluator cost.
+class LeafCounter {
+ public:
+  LeafCounter(size_t num_vertices, size_t num_labels)
+      : num_labels_(num_labels),
+        epoch_of_(num_vertices, 0),
+        mask_of_(num_vertices, 0) {
+    PATHEST_CHECK(num_labels <= 64, "LeafCounter supports <= 64 labels");
+  }
+
+  // Adds, for each label l, the number of distinct (s, u) pairs of
+  // parent ⋈ l into counts[l].
+  void CountExtensions(const Graph& graph, const PairSet& parent,
+                       uint64_t* counts) {
+    const size_t num_labels = num_labels_;
+    std::vector<Graph::CsrView> views;
+    views.reserve(num_labels);
+    for (LabelId l = 0; l < num_labels; ++l) {
+      views.push_back(graph.ForwardView(l));
+    }
+    for (size_t i = 0; i < parent.srcs.size(); ++i) {
+      ++epoch_;
+      for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
+        const VertexId t = parent.targets[j];
+        for (LabelId l = 0; l < num_labels; ++l) {
+          const Graph::CsrView& adj = views[l];
+          const uint64_t mask_bit = 1ULL << l;
+          for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+            const VertexId u = adj.targets[e];
+            if (epoch_of_[u] != epoch_) {
+              epoch_of_[u] = epoch_;
+              mask_of_[u] = 0;
+            }
+            if ((mask_of_[u] & mask_bit) == 0) {
+              mask_of_[u] |= mask_bit;
+              ++counts[l];
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  size_t num_labels_;
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> epoch_of_;
+  std::vector<uint64_t> mask_of_;
+};
+
+struct DfsContext {
+  const Graph* graph;
+  const SelectivityOptions* options;
+  SelectivityMap* map;
+  Marker* marker;
+  LeafCounter* leaf_counter;
+  // One reusable PairSet per depth (1-based level).
+  std::vector<PairSet>* levels;
+  size_t k;
+};
+
+// Recursively evaluates all extensions of `path` (whose pair set is at
+// levels[path.length()]).
+Status DfsExtend(DfsContext* ctx, LabelPath* path) {
+  const size_t depth = path->length();
+  if (depth == ctx->k) return Status::OK();
+  const PairSet& parent = (*ctx->levels)[depth];
+  if (depth + 1 == ctx->k) {
+    // Children are leaves: count all |L| extensions in one fused pass.
+    const size_t num_labels = ctx->graph->num_labels();
+    std::vector<uint64_t> counts(num_labels, 0);
+    ctx->leaf_counter->CountExtensions(*ctx->graph, parent, counts.data());
+    for (LabelId l = 0; l < num_labels; ++l) {
+      path->PushBack(l);
+      ctx->map->Set(*path, counts[l]);
+      path->PopBack();
+    }
+    return Status::OK();
+  }
+  for (LabelId l = 0; l < ctx->graph->num_labels(); ++l) {
+    PairSet* child = &(*ctx->levels)[depth + 1];
+    ExtendPairSet(*ctx->graph, parent, l, ctx->marker, child);
+    path->PushBack(l);
+    ctx->map->Set(*path, child->size());
+    if (ctx->options->max_pairs_per_prefix != 0 &&
+        child->size() > ctx->options->max_pairs_per_prefix) {
+      return Status::ResourceExhausted(
+          "pair set exceeds max_pairs_per_prefix at path " +
+          path->ToIdString());
+    }
+    if (child->size() > 0) {
+      PATHEST_RETURN_NOT_OK(DfsExtend(ctx, path));
+    }
+    // Empty child: all deeper extensions stay zero (already initialized).
+    path->PopBack();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SelectivityMap> ComputeSelectivities(const Graph& graph, size_t k,
+                                            const SelectivityOptions& options) {
+  if (graph.num_labels() == 0) {
+    return Status::InvalidArgument("graph has no labels");
+  }
+  if (k < 1 || k > kMaxPathLength) {
+    return Status::InvalidArgument("k out of range [1, kMaxPathLength]");
+  }
+  PathSpace space(graph.num_labels(), k);
+  SelectivityMap map(space);
+  Marker marker(graph.num_vertices());
+  LeafCounter leaf_counter(graph.num_vertices(), graph.num_labels());
+  std::vector<PairSet> levels(k + 1);
+
+  DfsContext ctx{&graph, &options, &map, &marker, &leaf_counter, &levels, k};
+  for (LabelId root = 0; root < graph.num_labels(); ++root) {
+    InitialPairSet(graph, root, &levels[1]);
+    LabelPath path{root};
+    map.Set(path, levels[1].size());
+    if (options.max_pairs_per_prefix != 0 &&
+        levels[1].size() > options.max_pairs_per_prefix) {
+      return Status::ResourceExhausted(
+          "pair set exceeds max_pairs_per_prefix at path " +
+          path.ToIdString());
+    }
+    if (levels[1].size() > 0) {
+      Status st = DfsExtend(&ctx, &path);
+      if (!st.ok()) return st;
+    }
+    if (options.progress) options.progress(root);
+  }
+  return map;
+}
+
+Result<uint64_t> EvaluatePathSelectivity(const Graph& graph,
+                                         const LabelPath& path) {
+  auto pairs = EvaluatePathPairs(graph, path);
+  if (!pairs.ok()) return pairs.status();
+  return static_cast<uint64_t>(pairs->size());
+}
+
+Result<std::vector<uint64_t>> EvaluatePathPairs(const Graph& graph,
+                                                const LabelPath& path) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  for (size_t i = 0; i < path.length(); ++i) {
+    if (path.label(i) >= graph.num_labels()) {
+      return Status::InvalidArgument("path uses unknown label id");
+    }
+  }
+  Marker marker(graph.num_vertices());
+  PairSet current;
+  PairSet next;
+  InitialPairSet(graph, path.label(0), &current);
+  for (size_t i = 1; i < path.length(); ++i) {
+    ExtendPairSet(graph, current, path.label(i), &marker, &next);
+    std::swap(current, next);
+  }
+  std::vector<uint64_t> packed;
+  packed.reserve(current.size());
+  for (size_t i = 0; i < current.srcs.size(); ++i) {
+    for (uint64_t j = current.offsets[i]; j < current.offsets[i + 1]; ++j) {
+      packed.push_back((static_cast<uint64_t>(current.srcs[i]) << 32) |
+                       current.targets[j]);
+    }
+  }
+  std::sort(packed.begin(), packed.end());
+  return packed;
+}
+
+}  // namespace pathest

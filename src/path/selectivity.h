@@ -1,0 +1,85 @@
+// pathest: exact path-selectivity computation (ground truth f(ℓ)).
+//
+// The selectivity f(ℓ) of a label path ℓ is the number of DISTINCT vertex
+// pairs (vs, vt) connected by an ℓ-labeled path (paper Section 2). The
+// evaluator walks the label-prefix trie depth-first; at each node it holds
+// the distinct pair set of the prefix, grouped by source vertex, and joins
+// it with the per-label adjacency to produce each child. Empty prefixes
+// prune their whole subtree, which is what makes k = 6 tractable on sparse
+// data. Only the <= k pair sets on the current DFS branch are resident.
+
+#ifndef PATHEST_PATH_SELECTIVITY_H_
+#define PATHEST_PATH_SELECTIVITY_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "path/label_path.h"
+#include "path/path_space.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Dense map from every path in L_k to its exact selectivity.
+class SelectivityMap {
+ public:
+  /// Builds an all-zero map over the given space.
+  explicit SelectivityMap(PathSpace space);
+
+  const PathSpace& space() const { return space_; }
+
+  /// \brief f(ℓ). Path must be in the space.
+  uint64_t Get(const LabelPath& path) const;
+
+  /// \brief f of the path with the given canonical index.
+  uint64_t GetByCanonicalIndex(uint64_t index) const;
+
+  /// \brief Sets f(ℓ).
+  void Set(const LabelPath& path, uint64_t value);
+
+  /// \brief Sum of all selectivities (diagnostics).
+  uint64_t Total() const;
+
+  /// \brief Number of paths with f > 0.
+  uint64_t CountNonZero() const;
+
+  /// \brief The raw canonical-indexed vector.
+  const std::vector<uint64_t>& values() const { return values_; }
+
+ private:
+  PathSpace space_;
+  std::vector<uint64_t> values_;
+};
+
+/// \brief Options for the exact evaluator.
+struct SelectivityOptions {
+  /// Abort with ResourceExhausted when a single prefix's distinct pair set
+  /// exceeds this many pairs (0 = unlimited). Guards against dense graphs
+  /// where |R| would approach |V|^2.
+  uint64_t max_pairs_per_prefix = 0;
+
+  /// Optional progress callback invoked after each length-1 subtree
+  /// completes (i.e., num_labels times).
+  std::function<void(LabelId done_root)> progress;
+};
+
+/// \brief Computes f(ℓ) for every ℓ in L_k on `graph`.
+Result<SelectivityMap> ComputeSelectivities(
+    const Graph& graph, size_t k,
+    const SelectivityOptions& options = SelectivityOptions{});
+
+/// \brief Evaluates a single path, returning its exact selectivity.
+/// Convenience for spot checks and tests; does not share work across calls.
+Result<uint64_t> EvaluatePathSelectivity(const Graph& graph,
+                                         const LabelPath& path);
+
+/// \brief Materializes the distinct pair set of one path (testing utility).
+/// Pairs are returned as packed (src << 32 | dst), sorted ascending.
+Result<std::vector<uint64_t>> EvaluatePathPairs(const Graph& graph,
+                                                const LabelPath& path);
+
+}  // namespace pathest
+
+#endif  // PATHEST_PATH_SELECTIVITY_H_

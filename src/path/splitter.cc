@@ -1,0 +1,77 @@
+#include "path/splitter.h"
+
+#include <algorithm>
+
+namespace pathest {
+
+BaseLabelSet::BaseLabelSet(size_t num_labels, size_t max_piece_length)
+    : num_labels_(num_labels), max_piece_length_(max_piece_length) {}
+
+BaseLabelSet BaseLabelSet::SingleLabels(size_t num_labels) {
+  BaseLabelSet set(num_labels, 1);
+  for (LabelId l = 0; l < num_labels; ++l) {
+    set.members_.insert(LabelPath{l});
+  }
+  return set;
+}
+
+BaseLabelSet BaseLabelSet::UpToLength(size_t num_labels, size_t m) {
+  PATHEST_CHECK(m >= 1 && m <= kMaxPathLength, "base length out of range");
+  BaseLabelSet set(num_labels, m);
+  PathSpace space(num_labels, m);
+  space.ForEach([&](const LabelPath& p) { set.members_.insert(p); });
+  return set;
+}
+
+Result<BaseLabelSet> BaseLabelSet::Custom(size_t num_labels,
+                                          std::vector<LabelPath> members) {
+  size_t max_len = 1;
+  for (const LabelPath& p : members) {
+    max_len = std::max(max_len, p.length());
+  }
+  BaseLabelSet set(num_labels, max_len);
+  for (LabelPath& p : members) set.members_.insert(p);
+  // Decomposability requires every single label to be present (paper §3.1,
+  // footnote 2: "naturally L ⊆ B").
+  for (LabelId l = 0; l < num_labels; ++l) {
+    if (!set.Contains(LabelPath{l})) {
+      return Status::InvalidArgument(
+          "custom base set is missing single label id " + std::to_string(l));
+    }
+  }
+  return set;
+}
+
+bool BaseLabelSet::Contains(const LabelPath& piece) const {
+  return members_.find(piece) != members_.end();
+}
+
+std::vector<LabelPath> BaseLabelSet::Members() const {
+  std::vector<LabelPath> out(members_.begin(), members_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<LabelPath> GreedySplit(const LabelPath& path,
+                                   const BaseLabelSet& base) {
+  std::vector<LabelPath> pieces;
+  size_t pos = 0;
+  while (pos < path.length()) {
+    size_t remaining = path.length() - pos;
+    size_t try_len = std::min(remaining, base.max_piece_length());
+    for (; try_len >= 1; --try_len) {
+      LabelPath piece;
+      for (size_t i = 0; i < try_len; ++i) piece.PushBack(path.label(pos + i));
+      if (base.Contains(piece)) {
+        pieces.push_back(piece);
+        pos += try_len;
+        break;
+      }
+      PATHEST_CHECK(try_len > 1,
+                    "base set misses a single label; Custom() must prevent this");
+    }
+  }
+  return pieces;
+}
+
+}  // namespace pathest

@@ -1,0 +1,62 @@
+// pathest: base label sets and the greedy splitting rule (paper Section 3.1).
+//
+// A base label set B ⊆ L_k must contain every length-1 path so that any
+// label path decomposes into pieces from B. The greedy rule repeatedly cuts
+// the longest prefix of the remaining path that is a member of B.
+
+#ifndef PATHEST_PATH_SPLITTER_H_
+#define PATHEST_PATH_SPLITTER_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "path/label_path.h"
+#include "path/path_space.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief A base label set with membership queries.
+class BaseLabelSet {
+ public:
+  /// \brief B = L (all single labels); the base set used throughout the
+  /// paper's main study.
+  static BaseLabelSet SingleLabels(size_t num_labels);
+
+  /// \brief B = L_m (all paths of length <= m) — the richer base sets the
+  /// paper's Section 5 proposes, e.g. m = 2.
+  static BaseLabelSet UpToLength(size_t num_labels, size_t m);
+
+  /// \brief Custom base set; must contain every length-1 path.
+  static Result<BaseLabelSet> Custom(size_t num_labels,
+                                     std::vector<LabelPath> members);
+
+  bool Contains(const LabelPath& piece) const;
+
+  /// \brief Longest piece length present in the set.
+  size_t max_piece_length() const { return max_piece_length_; }
+  size_t num_labels() const { return num_labels_; }
+
+  /// \brief Number of members |B|.
+  size_t size() const { return members_.size(); }
+
+  /// \brief Members in canonical order.
+  std::vector<LabelPath> Members() const;
+
+ private:
+  BaseLabelSet(size_t num_labels, size_t max_piece_length);
+
+  size_t num_labels_;
+  size_t max_piece_length_;
+  std::unordered_set<LabelPath, LabelPathHash> members_;
+};
+
+/// \brief Greedy longest-prefix decomposition of `path` into pieces of `base`
+/// (paper Section 3.1: "at each split step always cuts a piece in B as long
+/// as possible"). Always succeeds because B contains all single labels.
+std::vector<LabelPath> GreedySplit(const LabelPath& path,
+                                   const BaseLabelSet& base);
+
+}  // namespace pathest
+
+#endif  // PATHEST_PATH_SPLITTER_H_

@@ -1,0 +1,83 @@
+// pathest: combinatorial primitives backing the sum-based ordering
+// (paper Section 3.3, Formulas 3-5).
+//
+// All counts are exact unsigned 64-bit values; helpers saturate-check and
+// abort on overflow, which cannot occur for the parameter ranges used by the
+// library (path length k <= 16, label sets |L| <= 4096).
+
+#ifndef PATHEST_UTIL_COMBINATORICS_H_
+#define PATHEST_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pathest {
+
+/// \brief n! as uint64. Aborts for n > 20 (overflow).
+uint64_t Factorial(uint64_t n);
+
+/// \brief Binomial coefficient C(n, k); 0 when k > n. Overflow-checked.
+uint64_t Binomial(uint64_t n, uint64_t k);
+
+/// \brief Checked a * b for uint64; aborts on overflow.
+uint64_t CheckedMul(uint64_t a, uint64_t b);
+
+/// \brief Checked a + b for uint64; aborts on overflow.
+uint64_t CheckedAdd(uint64_t a, uint64_t b);
+
+/// \brief Checked base^exp for uint64; aborts on overflow.
+uint64_t CheckedPow(uint64_t base, uint64_t exp);
+
+/// \brief Number of compositions of `sum` into exactly `m` ordered parts,
+/// each in [1, num_labels] (paper Formula 3, inclusion-exclusion).
+///
+/// This is the size of the stage-two partition of the sum-based histogram
+/// domain holding all rank permutations of length `m` with summed rank `sum`.
+/// Returns 0 when the constraints are unsatisfiable.
+uint64_t CompositionCount(uint64_t sum, uint64_t m, uint64_t num_labels);
+
+/// \brief An integer partition: a multiset of parts. Parts are kept in the
+/// enumeration order produced by EnumeratePartitions (see below).
+using Partition = std::vector<uint32_t>;
+
+/// \brief All partitions of `sum` into exactly `m` parts, each in
+/// [1, max_part] (paper Formula 4).
+///
+/// Enumeration order is the order required by the sum-based ordering's
+/// stage three: the recursion peels off `i` copies of the current largest
+/// allowed part `max_part` with `i` ascending, so partitions using fewer
+/// large parts come first. (The paper's Formula 4 writes `m - 1` where the
+/// recursion must use `m - i`; Table 2 of the paper confirms the latter.)
+std::vector<Partition> EnumeratePartitions(uint64_t sum, uint64_t m,
+                                           uint64_t max_part);
+
+/// \brief Number of distinct permutations of the multiset `parts`
+/// (paper Formula 5): |C|! / prod_i d_i!.
+uint64_t MultisetPermutationCount(const Partition& parts);
+
+/// \brief Cached-table variant of CompositionCount for hot paths.
+///
+/// The sum-based (un)ranking functions evaluate CompositionCount for every
+/// (sum, length) pair of a query; this table precomputes all of them for a
+/// fixed label-set size and maximum path length.
+class CompositionTable {
+ public:
+  /// Precomputes counts for all m in [1, max_len], sum in [m, m*num_labels].
+  CompositionTable(uint64_t num_labels, uint64_t max_len);
+
+  /// \brief CompositionCount(sum, m, num_labels()); 0 outside the table.
+  uint64_t Count(uint64_t sum, uint64_t m) const;
+
+  uint64_t num_labels() const { return num_labels_; }
+  uint64_t max_len() const { return max_len_; }
+
+ private:
+  uint64_t num_labels_;
+  uint64_t max_len_;
+  // rows_[m - 1][sum - m] for sum in [m, m * num_labels].
+  std::vector<std::vector<uint64_t>> rows_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_COMBINATORICS_H_

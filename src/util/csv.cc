@@ -1,0 +1,71 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace pathest {
+
+std::string CsvWriter::QuoteCell(const std::string& cell) {
+  bool needs_quote = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header) {
+  if (out_.is_open()) return Status::AlreadyExists("CsvWriter already open");
+  out_.open(path, std::ios::out | std::ios::trunc);
+  if (!out_.is_open()) {
+    return Status::IOError("cannot open CSV file for writing: " + path);
+  }
+  num_columns_ = header.size();
+  return WriteRow(header);
+}
+
+Status CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return Status::IOError("CsvWriter is not open");
+  if (num_columns_ != 0 && cells.size() != num_columns_) {
+    return Status::InvalidArgument("CSV row has " +
+                                   std::to_string(cells.size()) +
+                                   " cells, expected " +
+                                   std::to_string(num_columns_));
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << QuoteCell(cells[i]);
+  }
+  out_ << '\n';
+  if (!out_.good()) return Status::IOError("CSV write failed");
+  return Status::OK();
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    out_.close();
+    if (out_.fail()) return Status::IOError("CSV close failed");
+  }
+  return Status::OK();
+}
+
+std::string CsvCell(uint64_t v) { return std::to_string(v); }
+std::string CsvCell(int64_t v) { return std::to_string(v); }
+
+std::string CsvCell(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf);
+}
+
+}  // namespace pathest

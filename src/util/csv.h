@@ -1,0 +1,47 @@
+// pathest: tiny CSV writer used by the bench harness to persist the rows it
+// prints, so figures can be re-plotted without re-running experiments.
+
+#ifndef PATHEST_UTIL_CSV_H_
+#define PATHEST_UTIL_CSV_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+
+  /// \brief Opens `path` for writing and emits `header` as the first row.
+  Status Open(const std::string& path, const std::vector<std::string>& header);
+
+  /// \brief Appends one row; the cell count should match the header.
+  Status WriteRow(const std::vector<std::string>& cells);
+
+  /// \brief Flushes and closes the file. Idempotent.
+  Status Close();
+
+  bool is_open() const { return out_.is_open(); }
+
+  /// \brief Quotes a single cell per RFC 4180 (only when needed).
+  static std::string QuoteCell(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  size_t num_columns_ = 0;
+};
+
+/// \brief Convenience numeric-to-cell conversions.
+std::string CsvCell(uint64_t v);
+std::string CsvCell(int64_t v);
+std::string CsvCell(double v);
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_CSV_H_

@@ -1,0 +1,60 @@
+// pathest: minimal leveled logging to stderr.
+//
+// Logging is intentionally tiny: benches and the experiment runner use it for
+// progress lines; the library itself logs only at kWarn and above.
+
+#ifndef PATHEST_UTIL_LOGGING_H_
+#define PATHEST_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace pathest {
+
+/// \brief Severity of a log line. Messages below the global level are dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// \brief Sets the global minimum severity. Thread-compatible (set at startup).
+void SetLogLevel(LogLevel level);
+
+/// \brief Current global minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line emitter; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PATHEST_LOG(level)                                       \
+  ::pathest::internal::LogMessage(::pathest::LogLevel::k##level, \
+                                  __FILE__, __LINE__)
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_LOGGING_H_

@@ -1,0 +1,85 @@
+// pathest: deterministic pseudo-random number generation.
+//
+// All randomized components (graph generators, label assigners, workload
+// samplers) take an explicit Rng so that every experiment is reproducible
+// from a seed. The engine is xoshiro256**, seeded via SplitMix64.
+
+#ifndef PATHEST_UTIL_RANDOM_H_
+#define PATHEST_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pathest {
+
+/// \brief SplitMix64 step; used for seeding and cheap hashing.
+uint64_t SplitMix64(uint64_t* state);
+
+/// \brief Deterministic xoshiro256** PRNG.
+///
+/// Satisfies the UniformRandomBitGenerator concept, so it can also be used
+/// with <random> distributions, although the built-in helpers below are
+/// preferred for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// \brief Next 64 random bits.
+  uint64_t Next();
+  result_type operator()() { return Next(); }
+
+  /// \brief Uniform integer in [0, bound). `bound` must be > 0.
+  /// Uses Lemire's nearly-divisionless unbiased method.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// \brief Forks an independent child stream (for parallel determinism).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// \brief Zipf(s, n) sampler over {0, 1, ..., n-1} by rejection inversion.
+///
+/// P(X = i) is proportional to 1 / (i+1)^s. The common database-benchmark
+/// choice s = 1 gives the classic harmonic skew. Construction is O(n) (it
+/// precomputes the CDF); sampling is O(log n).
+class ZipfDistribution {
+ public:
+  /// \param n number of items, must be >= 1.
+  /// \param s skew exponent, must be >= 0 (0 degenerates to uniform).
+  ZipfDistribution(uint64_t n, double s);
+
+  /// \brief Draws one sample in [0, n).
+  uint64_t Sample(Rng* rng) const;
+
+  /// \brief Probability mass of item i.
+  double Pmf(uint64_t i) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_RANDOM_H_

@@ -1,0 +1,59 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pathest {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIOError:
+      return "IOError";
+    case StatusCode::kNotImplemented:
+      return "NotImplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string msg) {
+  if (code != StatusCode::kOk) {
+    state_ = std::make_unique<State>(State{code, std::move(msg)});
+  }
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ == nullptr ? kEmpty : state_->msg;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "PATHEST_CHECK failed at %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace pathest

@@ -1,0 +1,154 @@
+// pathest: Status / Result error-handling primitives.
+//
+// The public API of this library does not throw exceptions; fallible
+// operations return a Status (or a Result<T> carrying a value on success).
+// This mirrors the idiom used by Arrow and RocksDB.
+
+#ifndef PATHEST_UTIL_STATUS_H_
+#define PATHEST_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pathest {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kIOError = 5,
+  kNotImplemented = 6,
+  kInternal = 7,
+  kResourceExhausted = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus an optional message.
+///
+/// An OK status carries no allocation; error statuses own their message.
+/// Statuses are cheap to move and to test for success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string msg);
+
+  /// \brief Returns the success singleton.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  /// \brief True iff the status represents success.
+  bool ok() const noexcept { return state_ == nullptr; }
+
+  /// \brief The status code (kOk for success).
+  StatusCode code() const noexcept {
+    return state_ == nullptr ? StatusCode::kOk : state_->code;
+  }
+
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const;
+
+  /// \brief Renders "<CODE>: <message>" (or "OK").
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const noexcept {
+    return code() == other.code();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+/// \brief A value of type T or the Status explaining why it is absent.
+///
+/// Result is the return type for fallible constructors; successful paths
+/// access the value with ValueOrDie() / operator*.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: success.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const noexcept { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The failure status; OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return Status(std::get<Status>(repr_).code(),
+                  std::get<Status>(repr_).message());
+  }
+
+  /// \brief Access the value. Undefined when !ok().
+  const T& operator*() const& { return std::get<T>(repr_); }
+  T& operator*() & { return std::get<T>(repr_); }
+  const T* operator->() const { return &std::get<T>(repr_); }
+  T* operator->() { return &std::get<T>(repr_); }
+
+  /// \brief Move the value out. Undefined when !ok().
+  T ValueOrDie() && { return std::move(std::get<T>(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// \brief Propagates a non-OK Status from the evaluated expression.
+#define PATHEST_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::pathest::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// \brief Aborts the process with a message when `cond` is false.
+/// Used for internal invariants that indicate programmer error.
+#define PATHEST_CHECK(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::pathest::internal::CheckFailed(__FILE__, __LINE__, msg); \
+  } while (false)
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* msg);
+}  // namespace internal
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_STATUS_H_

@@ -1,0 +1,50 @@
+// pathest: simple wall-clock stopwatch used by benches and the experiment
+// runner. Header-only.
+
+#ifndef PATHEST_UTIL_TIMER_H_
+#define PATHEST_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pathest {
+
+/// \brief Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  /// Starts the stopwatch immediately.
+  Timer() : start_(Clock::now()) {}
+
+  /// \brief Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// \brief Elapsed time in nanoseconds since construction or last Reset().
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  /// \brief Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// \brief Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_TIMER_H_

@@ -1,0 +1,140 @@
+// Tests for the StatisticsCatalog integration layer.
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/serialize.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+using testing_util::SmallGraph;
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  CatalogTest() : graph_(SmallGraph()) {}
+
+  StatisticsCatalog MakeCatalog(size_t k = 3) {
+    auto catalog = StatisticsCatalog::Analyze(graph_, k);
+    PATHEST_CHECK(catalog.ok(), "analyze failed");
+    return std::move(*catalog);
+  }
+
+  Graph graph_;
+};
+
+TEST_F(CatalogTest, AnalyzeComputesExactSelectivities) {
+  StatisticsCatalog catalog = MakeCatalog();
+  LabelId a = *graph_.labels().Find("a");
+  EXPECT_EQ(catalog.ExactSelectivity(LabelPath{a}),
+            graph_.LabelCardinality(a));
+  EXPECT_EQ(catalog.k(), 3u);
+}
+
+TEST_F(CatalogTest, BuildAndQueryEstimators) {
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogEntryConfig config;
+  config.ordering = "sum-based";
+  config.num_buckets = 8;
+  ASSERT_TRUE(catalog.BuildEstimator("default", config).ok());
+
+  CatalogEntryConfig cheap;
+  cheap.ordering = "num-alph";
+  cheap.histogram_type = HistogramType::kEquiWidth;
+  cheap.num_buckets = 4;
+  ASSERT_TRUE(catalog.BuildEstimator("cheap", cheap).ok());
+
+  EXPECT_EQ(catalog.EstimatorNames(),
+            (std::vector<std::string>{"cheap", "default"}));
+
+  LabelId a = *graph_.labels().Find("a");
+  auto estimate = catalog.Estimate("default", LabelPath{a});
+  ASSERT_TRUE(estimate.ok());
+  EXPECT_GE(*estimate, 0.0);
+
+  auto missing = catalog.Estimate("nope", LabelPath{a});
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, RebuildReplacesEstimator) {
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogEntryConfig config;
+  config.num_buckets = 4;
+  ASSERT_TRUE(catalog.BuildEstimator("e", config).ok());
+  config.num_buckets = 16;
+  ASSERT_TRUE(catalog.BuildEstimator("e", config).ok());
+  auto est = catalog.GetEstimator("e");
+  ASSERT_TRUE(est.ok());
+  EXPECT_EQ((*est)->histogram().num_buckets(), 16u);
+  EXPECT_EQ(catalog.EstimatorNames().size(), 1u);
+}
+
+TEST_F(CatalogTest, RejectsPathOutsideSpace) {
+  StatisticsCatalog catalog = MakeCatalog(2);
+  CatalogEntryConfig config;
+  config.num_buckets = 4;
+  ASSERT_TRUE(catalog.BuildEstimator("e", config).ok());
+  LabelId a = *graph_.labels().Find("a");
+  auto too_long = catalog.Estimate("e", LabelPath{a, a, a});
+  EXPECT_EQ(too_long.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CatalogTest, SupportsIdealAndCompositeEntries) {
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogEntryConfig ideal;
+  ideal.ordering = "ideal";
+  ideal.num_buckets = 8;
+  EXPECT_TRUE(catalog.BuildEstimator("ideal", ideal).ok());
+  CatalogEntryConfig composite;
+  composite.ordering = "sum-L2";
+  composite.num_buckets = 8;
+  EXPECT_TRUE(catalog.BuildEstimator("l2", composite).ok());
+}
+
+TEST_F(CatalogTest, StalenessTracking) {
+  StatisticsCatalog catalog = MakeCatalog();
+  EXPECT_DOUBLE_EQ(catalog.Staleness(), 0.0);
+  EXPECT_FALSE(catalog.NeedsRefresh());
+  // SmallGraph has 6 edges; 1 change = 16.7% staleness.
+  catalog.RecordDataChanges(1);
+  EXPECT_NEAR(catalog.Staleness(), 1.0 / 6.0, 1e-12);
+  EXPECT_TRUE(catalog.NeedsRefresh(0.1));
+  EXPECT_FALSE(catalog.NeedsRefresh(0.5));
+}
+
+TEST_F(CatalogTest, SaveAllPersistsSerializableEntries) {
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogEntryConfig sum;
+  sum.ordering = "sum-based";
+  sum.num_buckets = 8;
+  ASSERT_TRUE(catalog.BuildEstimator("sum", sum).ok());
+  CatalogEntryConfig ideal;
+  ideal.ordering = "ideal";
+  ideal.num_buckets = 8;
+  ASSERT_TRUE(catalog.BuildEstimator("ideal", ideal).ok());
+
+  auto dir = std::filesystem::temp_directory_path() / "pathest_catalog_test";
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> skipped;
+  ASSERT_TRUE(catalog.SaveAll(dir.string(), &skipped).ok());
+  EXPECT_EQ(skipped, std::vector<std::string>{"ideal"});
+  ASSERT_TRUE(std::filesystem::exists(dir / "sum.stats"));
+
+  // The persisted estimator answers identically after reload.
+  auto loaded = LoadPathHistogram((dir / "sum.stats").string());
+  ASSERT_TRUE(loaded.ok());
+  auto original = catalog.GetEstimator("sum");
+  ASSERT_TRUE(original.ok());
+  PathSpace space(graph_.num_labels(), 3);
+  space.ForEach([&](const LabelPath& p) {
+    EXPECT_DOUBLE_EQ(loaded->estimator.Estimate(p),
+                     (*original)->Estimate(p));
+  });
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,175 @@
+// Unit tests for the combinatorial primitives behind sum-based ordering.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/combinatorics.h"
+
+namespace pathest {
+namespace {
+
+TEST(FactorialTest, SmallValues) {
+  EXPECT_EQ(Factorial(0), 1u);
+  EXPECT_EQ(Factorial(1), 1u);
+  EXPECT_EQ(Factorial(5), 120u);
+  EXPECT_EQ(Factorial(10), 3628800u);
+  EXPECT_EQ(Factorial(20), 2432902008176640000ULL);
+}
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 2), 10u);
+  EXPECT_EQ(Binomial(10, 3), 120u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+  EXPECT_EQ(Binomial(3, 7), 0u);  // k > n
+}
+
+TEST(BinomialTest, PascalIdentity) {
+  for (uint64_t n = 1; n <= 30; ++n) {
+    for (uint64_t k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(CheckedArithmeticTest, InRange) {
+  EXPECT_EQ(CheckedMul(1000, 1000), 1000000u);
+  EXPECT_EQ(CheckedAdd(1, 2), 3u);
+  EXPECT_EQ(CheckedPow(2, 10), 1024u);
+  EXPECT_EQ(CheckedPow(8, 6), 262144u);
+  EXPECT_EQ(CheckedPow(7, 0), 1u);
+}
+
+TEST(CheckedArithmeticTest, MulOverflowAborts) {
+  EXPECT_DEATH(CheckedMul(~0ULL, 2), "overflow");
+}
+
+TEST(CheckedArithmeticTest, AddOverflowAborts) {
+  EXPECT_DEATH(CheckedAdd(~0ULL, 1), "overflow");
+}
+
+TEST(CheckedArithmeticTest, PowOverflowAborts) {
+  EXPECT_DEATH(CheckedPow(2, 64), "overflow");
+}
+
+// Brute-force composition counter: sequences of m values in [1, L] summing
+// to `sum`.
+uint64_t BruteCompositions(uint64_t sum, uint64_t m, uint64_t num_labels) {
+  if (m == 0) return sum == 0 ? 1 : 0;
+  uint64_t total = 0;
+  for (uint64_t first = 1; first <= num_labels && first <= sum; ++first) {
+    total += BruteCompositions(sum - first, m - 1, num_labels);
+  }
+  return total;
+}
+
+TEST(CompositionCountTest, PaperExample) {
+  // Compositions of 4 into 2 parts each <= 3: (1,3), (2,2), (3,1).
+  EXPECT_EQ(CompositionCount(4, 2, 3), 3u);
+}
+
+TEST(CompositionCountTest, MatchesBruteForce) {
+  for (uint64_t num_labels = 1; num_labels <= 6; ++num_labels) {
+    for (uint64_t m = 1; m <= 5; ++m) {
+      for (uint64_t sum = 0; sum <= m * num_labels + 2; ++sum) {
+        EXPECT_EQ(CompositionCount(sum, m, num_labels),
+                  BruteCompositions(sum, m, num_labels))
+            << "L=" << num_labels << " m=" << m << " sum=" << sum;
+      }
+    }
+  }
+}
+
+TEST(CompositionCountTest, TotalOverSumsIsPower) {
+  // Sum over all achievable summed ranks must cover every rank sequence.
+  for (uint64_t num_labels = 2; num_labels <= 8; ++num_labels) {
+    for (uint64_t m = 1; m <= 6; ++m) {
+      uint64_t total = 0;
+      for (uint64_t sum = m; sum <= m * num_labels; ++sum) {
+        total += CompositionCount(sum, m, num_labels);
+      }
+      EXPECT_EQ(total, CheckedPow(num_labels, m));
+    }
+  }
+}
+
+TEST(CompositionTableTest, MatchesDirectComputation) {
+  CompositionTable table(5, 4);
+  for (uint64_t m = 1; m <= 4; ++m) {
+    for (uint64_t sum = 0; sum <= 25; ++sum) {
+      EXPECT_EQ(table.Count(sum, m), CompositionCount(sum, m, 5));
+    }
+  }
+  EXPECT_EQ(table.Count(3, 0), 0u);
+  EXPECT_EQ(table.Count(3, 9), 0u);
+}
+
+TEST(EnumeratePartitionsTest, PaperOrderSr4) {
+  // ip(4, 2, 3) must yield {2,2} before {1,3} (verified against Table 2).
+  auto parts = EnumeratePartitions(4, 2, 3);
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], (Partition{2, 2}));
+  EXPECT_EQ(parts[1], (Partition{1, 3}));
+}
+
+TEST(EnumeratePartitionsTest, PartsAreSortedAscending) {
+  for (auto& p : EnumeratePartitions(12, 4, 6)) {
+    EXPECT_TRUE(std::is_sorted(p.begin(), p.end()));
+  }
+}
+
+TEST(EnumeratePartitionsTest, CoversAllMultisets) {
+  // Every partition of `sum` into m parts in [1, max_part], exactly once.
+  for (uint64_t max_part = 1; max_part <= 5; ++max_part) {
+    for (uint64_t m = 1; m <= 4; ++m) {
+      for (uint64_t sum = m; sum <= m * max_part; ++sum) {
+        auto parts = EnumeratePartitions(sum, m, max_part);
+        std::set<Partition> unique(parts.begin(), parts.end());
+        EXPECT_EQ(unique.size(), parts.size()) << "duplicates";
+        uint64_t perm_total = 0;
+        for (const auto& p : parts) {
+          EXPECT_EQ(p.size(), m);
+          uint64_t s = 0;
+          for (uint32_t v : p) {
+            EXPECT_GE(v, 1u);
+            EXPECT_LE(v, max_part);
+            s += v;
+          }
+          EXPECT_EQ(s, sum);
+          perm_total += MultisetPermutationCount(p);
+        }
+        // Permutations over all partitions = compositions with that sum.
+        EXPECT_EQ(perm_total, CompositionCount(sum, m, max_part));
+      }
+    }
+  }
+}
+
+TEST(EnumeratePartitionsTest, EmptyWhenInfeasible) {
+  EXPECT_TRUE(EnumeratePartitions(7, 2, 3).empty());   // max sum is 6
+  EXPECT_TRUE(EnumeratePartitions(1, 2, 3).empty());   // min sum is 2
+  EXPECT_TRUE(EnumeratePartitions(3, 0, 3).empty());   // no parts
+}
+
+TEST(MultisetPermutationCountTest, KnownValues) {
+  EXPECT_EQ(MultisetPermutationCount({}), 1u);
+  EXPECT_EQ(MultisetPermutationCount({3}), 1u);
+  EXPECT_EQ(MultisetPermutationCount({1, 2}), 2u);
+  EXPECT_EQ(MultisetPermutationCount({2, 2}), 1u);
+  EXPECT_EQ(MultisetPermutationCount({1, 1, 2}), 3u);
+  EXPECT_EQ(MultisetPermutationCount({1, 2, 3, 4}), 24u);
+  EXPECT_EQ(MultisetPermutationCount({1, 1, 2, 2}), 6u);
+}
+
+TEST(MultisetPermutationCountTest, UnsortedInputAccepted) {
+  EXPECT_EQ(MultisetPermutationCount({2, 1, 2, 1}), 6u);
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,213 @@
+// Unit tests for graph generators, label assigners, and canned datasets.
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/generator.h"
+#include "graph/graph_stats.h"
+
+namespace pathest {
+namespace {
+
+TEST(LabelAssignerTest, UniformCoversAllLabels) {
+  UniformLabelAssigner assigner(5);
+  Rng rng(1);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[assigner.Assign(0, 1, &rng)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(LabelAssignerTest, ZipfIsSkewed) {
+  ZipfLabelAssigner assigner(6, 1.0, 42);
+  Rng rng(1);
+  std::vector<int> counts(6, 0);
+  for (int i = 0; i < 60000; ++i) ++counts[assigner.Assign(0, 1, &rng)];
+  std::sort(counts.begin(), counts.end());
+  // Most frequent label at least 4x the least frequent under s = 1, n = 6.
+  EXPECT_GT(counts[5], counts[0] * 4);
+}
+
+TEST(LabelAssignerTest, TypedIsDeterministicPerTypePair) {
+  TypedLabelAssigner assigner(8, 4, 7);
+  Rng rng(1);
+  // Same (src,dst) types -> labels drawn from the same small candidate set.
+  std::set<LabelId> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(assigner.Assign(10, 20, &rng));
+  // Far fewer labels than 8 should appear for one type pair (candidates + 0).
+  EXPECT_LE(seen.size(), 5u);
+  EXPECT_EQ(assigner.VertexType(10), assigner.VertexType(10));
+}
+
+TEST(ErdosRenyiTest, ProducesRequestedShape) {
+  UniformLabelAssigner labels(4);
+  ErdosRenyiParams params;
+  params.num_vertices = 100;
+  params.num_edges = 400;
+  params.seed = 3;
+  auto g = GenerateErdosRenyi(params, &labels);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 100u);
+  EXPECT_EQ(g->num_edges(), 400u);
+  EXPECT_EQ(g->num_labels(), 4u);
+  // No self loops.
+  for (const Edge& e : g->CollectEdges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ErdosRenyiTest, DeterministicPerSeed) {
+  UniformLabelAssigner labels_a(3);
+  UniformLabelAssigner labels_b(3);
+  ErdosRenyiParams params;
+  params.num_vertices = 50;
+  params.num_edges = 120;
+  params.seed = 11;
+  auto a = GenerateErdosRenyi(params, &labels_a);
+  auto b = GenerateErdosRenyi(params, &labels_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->CollectEdges().size(), b->CollectEdges().size());
+  auto ea = a->CollectEdges();
+  auto eb = b->CollectEdges();
+  for (size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i], eb[i]);
+  }
+}
+
+TEST(ErdosRenyiTest, RejectsImpossibleRequests) {
+  UniformLabelAssigner labels(1);
+  ErdosRenyiParams params;
+  params.num_vertices = 2;
+  params.num_edges = 100;  // only 2 distinct non-loop pairs exist
+  EXPECT_FALSE(GenerateErdosRenyi(params, &labels).ok());
+  params.num_vertices = 0;
+  params.num_edges = 0;
+  EXPECT_FALSE(GenerateErdosRenyi(params, &labels).ok());
+}
+
+TEST(ForestFireTest, GrowsConnectedIshGraph) {
+  UniformLabelAssigner labels(3);
+  ForestFireParams params;
+  params.num_vertices = 500;
+  params.forward_prob = 0.3;
+  params.seed = 5;
+  auto g = GenerateForestFire(params, &labels);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 500u);
+  // Every non-seed vertex links to at least one predecessor.
+  EXPECT_GE(g->num_edges(), 400u);
+  GraphStats stats = ComputeGraphStats(*g);
+  EXPECT_GT(stats.mean_out_degree, 0.5);
+}
+
+TEST(ForestFireTest, RejectsBadProbability) {
+  UniformLabelAssigner labels(2);
+  ForestFireParams params;
+  params.num_vertices = 10;
+  params.forward_prob = 1.0;
+  EXPECT_FALSE(GenerateForestFire(params, &labels).ok());
+}
+
+TEST(PrefAttachmentTest, HeavyTailedInDegrees) {
+  UniformLabelAssigner labels(4);
+  PrefAttachmentParams params;
+  params.num_vertices = 2000;
+  params.num_edges = 8000;
+  params.pref_prob = 0.8;
+  params.seed = 9;
+  auto g = GeneratePrefAttachment(params, &labels);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 8000u);
+  // In-degree distribution: compute via edges; expect a hub well above mean.
+  std::vector<uint64_t> in_deg(g->num_vertices(), 0);
+  for (const Edge& e : g->CollectEdges()) ++in_deg[e.dst];
+  uint64_t max_in = *std::max_element(in_deg.begin(), in_deg.end());
+  double mean_in = 8000.0 / 2000.0;
+  EXPECT_GT(static_cast<double>(max_in), mean_in * 5);
+}
+
+TEST(PrefAttachmentTest, RejectsBadParams) {
+  UniformLabelAssigner labels(2);
+  PrefAttachmentParams params;
+  params.num_vertices = 1;
+  EXPECT_FALSE(GeneratePrefAttachment(params, &labels).ok());
+  params.num_vertices = 10;
+  params.pref_prob = 1.5;
+  EXPECT_FALSE(GeneratePrefAttachment(params, &labels).ok());
+}
+
+TEST(DatasetsTest, SpecsMatchTable3) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "moreno");
+  EXPECT_EQ(specs[0].num_labels, 6u);
+  EXPECT_EQ(specs[0].num_vertices, 2539u);
+  EXPECT_EQ(specs[0].num_edges, 12969u);
+  EXPECT_TRUE(specs[0].real_world);
+  EXPECT_EQ(specs[1].name, "dbpedia");
+  EXPECT_EQ(specs[1].num_labels, 8u);
+  EXPECT_EQ(specs[2].name, "snap-er");
+  EXPECT_FALSE(specs[2].real_world);
+  EXPECT_EQ(specs[3].name, "snap-ff");
+  EXPECT_EQ(specs[3].num_vertices, 50000u);
+}
+
+TEST(DatasetsTest, FindByName) {
+  auto spec = FindDatasetSpec("snap-er");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->num_edges, 147996u);
+  EXPECT_FALSE(FindDatasetSpec("nope").ok());
+}
+
+TEST(DatasetsTest, ScaledBuildsAreFaithfulInShape) {
+  // Scale 0.05 keeps the test fast while validating the generator wiring.
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    auto g = BuildDataset(spec.id, 0.05, 7);
+    ASSERT_TRUE(g.ok()) << spec.name << ": " << g.status().ToString();
+    EXPECT_EQ(g->num_labels(), spec.num_labels) << spec.name;
+    EXPECT_GT(g->num_edges(), 0u) << spec.name;
+    // Vertices within the scaled budget.
+    EXPECT_LE(g->num_vertices(),
+              static_cast<size_t>(spec.num_vertices * 0.05) + 1)
+        << spec.name;
+  }
+}
+
+TEST(DatasetsTest, MorenoLikeHasSkewedLabels) {
+  auto g = BuildDataset(DatasetId::kMorenoHealth, 0.2, 42);
+  ASSERT_TRUE(g.ok());
+  std::vector<uint64_t> cards;
+  for (LabelId l = 0; l < g->num_labels(); ++l) {
+    cards.push_back(g->LabelCardinality(l));
+  }
+  std::sort(cards.begin(), cards.end());
+  EXPECT_GT(cards.back(), cards.front() * 3);  // strong skew
+}
+
+TEST(DatasetsTest, RejectsBadScale) {
+  EXPECT_FALSE(BuildDataset(DatasetId::kMorenoHealth, 0.0).ok());
+  EXPECT_FALSE(BuildDataset(DatasetId::kMorenoHealth, 1.5).ok());
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  auto a = BuildDataset(DatasetId::kSnapEr, 0.05, 13);
+  auto b = BuildDataset(DatasetId::kSnapEr, 0.05, 13);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  auto ea = a->CollectEdges();
+  auto eb = b->CollectEdges();
+  for (size_t i = 0; i < ea.size(); ++i) EXPECT_EQ(ea[i], eb[i]);
+}
+
+TEST(NumericLabelNamesTest, OneBased) {
+  auto names = NumericLabelNames(3);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "1");
+  EXPECT_EQ(names[2], "3");
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,130 @@
+// Tests specific to the Gray-code ordering and the random baseline.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.h"
+#include "ordering/factory.h"
+#include "ordering/gray.h"
+#include "ordering/random_order.h"
+#include "path/selectivity.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+TEST(GrayOrderingTest, AdjacentIndexesDifferInOneDigitByOne) {
+  Graph g = testing_util::GraphWithCardinalities(
+      {{"1", 5}, {"2", 9}, {"3", 2}, {"4", 7}});
+  auto ordering = MakeOrdering("gray-card", g, 3);
+  ASSERT_TRUE(ordering.ok());
+  auto* gray = dynamic_cast<GrayOrdering*>(ordering->get());
+  ASSERT_NE(gray, nullptr);
+  const LabelRanking& ranking = gray->ranking();
+
+  LabelPath prev = (*ordering)->Unrank(0);
+  for (uint64_t i = 1; i < (*ordering)->size(); ++i) {
+    LabelPath cur = (*ordering)->Unrank(i);
+    if (cur.length() != prev.length()) {
+      prev = cur;  // length-block boundary: no adjacency guarantee
+      continue;
+    }
+    int diffs = 0;
+    int step = 0;
+    for (size_t j = 0; j < cur.length(); ++j) {
+      int a = static_cast<int>(ranking.RankOf(prev.label(j)));
+      int b = static_cast<int>(ranking.RankOf(cur.label(j)));
+      if (a != b) {
+        ++diffs;
+        step = std::abs(a - b);
+      }
+    }
+    EXPECT_EQ(diffs, 1) << "index " << i;
+    EXPECT_EQ(step, 1) << "index " << i;
+    prev = cur;
+  }
+}
+
+TEST(GrayOrderingTest, FirstPathUsesRankOneEverywhere) {
+  Graph g = testing_util::PaperExampleGraph();
+  auto ordering = MakeOrdering("gray-card", g, 2);
+  ASSERT_TRUE(ordering.ok());
+  // Rank 1 label is "1" (lowest cardinality).
+  EXPECT_EQ((*ordering)->Unrank(0).ToString(g.labels()), "1");
+  EXPECT_EQ((*ordering)->Unrank(3).ToString(g.labels()), "1/1");
+}
+
+TEST(GrayOrderingTest, NameReflectsRanking) {
+  Graph g = testing_util::PaperExampleGraph();
+  EXPECT_EQ((*MakeOrdering("gray-alph", g, 2))->name(), "gray-alph");
+  EXPECT_EQ((*MakeOrdering("gray-card", g, 2))->name(), "gray-card");
+}
+
+TEST(GrayOrderingTest, SmootherThanNumericalOnSkewedData) {
+  // Gray traversal revisits similar rank prefixes consecutively, so the
+  // total variation of the distribution should not exceed numerical's.
+  Graph g = testing_util::SmallGraph();
+  auto map = ComputeSelectivities(g, 4);
+  ASSERT_TRUE(map.ok());
+  auto gray = MakeOrdering("gray-card", g, 4);
+  auto num = MakeOrdering("num-card", g, 4);
+  ASSERT_TRUE(gray.ok());
+  ASSERT_TRUE(num.ok());
+  auto gray_dist = BuildDistribution(*map, **gray);
+  auto num_dist = BuildDistribution(*map, **num);
+  ASSERT_TRUE(gray_dist.ok());
+  ASSERT_TRUE(num_dist.ok());
+  EXPECT_LE(ProfileDistribution(*gray_dist).total_variation,
+            ProfileDistribution(*num_dist).total_variation * 1.05);
+}
+
+TEST(RandomOrderingTest, DeterministicPerSeed) {
+  PathSpace space(3, 3);
+  RandomOrdering a(space, 7);
+  RandomOrdering b(space, 7);
+  RandomOrdering c(space, 8);
+  bool any_diff = false;
+  for (uint64_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(a.Unrank(i), b.Unrank(i));
+    any_diff = any_diff || !(a.Unrank(i) == c.Unrank(i));
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomOrderingTest, IsABijection) {
+  PathSpace space(4, 3);
+  RandomOrdering ordering(space, 99);
+  std::set<uint64_t> seen;
+  space.ForEach([&](const LabelPath& p) {
+    uint64_t i = ordering.Rank(p);
+    EXPECT_TRUE(seen.insert(i).second);
+    EXPECT_EQ(ordering.Unrank(i), p);
+  });
+  EXPECT_EQ(seen.size(), space.size());
+}
+
+TEST(RandomOrderingTest, IsWorstOrderingForAccuracy) {
+  // The whole point of the baseline: random ordering destroys locality, so
+  // its total variation exceeds every structured ordering's.
+  Graph g = testing_util::SmallGraph();
+  auto map = ComputeSelectivities(g, 4);
+  ASSERT_TRUE(map.ok());
+  auto random = MakeOrdering("random", g, 4);
+  ASSERT_TRUE(random.ok());
+  auto random_dist = BuildDistribution(*map, **random);
+  ASSERT_TRUE(random_dist.ok());
+  double random_tv = ProfileDistribution(*random_dist).total_variation;
+  for (const std::string& method : PaperOrderingNames()) {
+    auto ordering = MakeOrdering(method, g, 4);
+    ASSERT_TRUE(ordering.ok());
+    auto dist = BuildDistribution(*map, **ordering);
+    ASSERT_TRUE(dist.ok());
+    EXPECT_LE(ProfileDistribution(*dist).total_variation, random_tv)
+        << method;
+  }
+}
+
+}  // namespace
+}  // namespace pathest

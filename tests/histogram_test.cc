@@ -1,0 +1,285 @@
+// Unit tests for the Histogram container and all builder policies.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "histogram/builders.h"
+#include "util/random.h"
+
+namespace pathest {
+namespace {
+
+std::vector<uint64_t> RandomData(size_t n, uint64_t seed, uint64_t max_v) {
+  Rng rng(seed);
+  std::vector<uint64_t> data(n);
+  for (auto& v : data) v = rng.NextBounded(max_v + 1);
+  return data;
+}
+
+void ExpectValidPartition(const Histogram& h, size_t n, size_t beta) {
+  ASSERT_FALSE(h.buckets().empty());
+  EXPECT_LE(h.num_buckets(), beta);
+  EXPECT_EQ(h.buckets().front().begin, 0u);
+  EXPECT_EQ(h.buckets().back().end, n);
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    EXPECT_LT(h.buckets()[i].begin, h.buckets()[i].end);
+    if (i > 0) {
+      EXPECT_EQ(h.buckets()[i].begin, h.buckets()[i - 1].end);
+    }
+  }
+}
+
+TEST(HistogramTest, FromBoundariesComputesSums) {
+  std::vector<uint64_t> data = {1, 2, 3, 4, 5, 6};
+  auto h = Histogram::FromBoundaries(data, {2, 4});
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->num_buckets(), 3u);
+  EXPECT_DOUBLE_EQ(h->buckets()[0].sum, 3.0);
+  EXPECT_DOUBLE_EQ(h->buckets()[1].sum, 7.0);
+  EXPECT_DOUBLE_EQ(h->buckets()[2].sum, 11.0);
+  EXPECT_DOUBLE_EQ(h->Estimate(0), 1.5);
+  EXPECT_DOUBLE_EQ(h->Estimate(3), 3.5);
+  EXPECT_DOUBLE_EQ(h->Estimate(5), 5.5);
+  EXPECT_EQ(h->domain_size(), 6u);
+}
+
+TEST(HistogramTest, FromBoundariesValidates) {
+  std::vector<uint64_t> data = {1, 2, 3};
+  EXPECT_FALSE(Histogram::FromBoundaries(data, {0}).ok());   // not > 0
+  EXPECT_FALSE(Histogram::FromBoundaries(data, {3}).ok());   // not < n
+  EXPECT_FALSE(Histogram::FromBoundaries(data, {2, 2}).ok());  // not strict
+  EXPECT_FALSE(Histogram::FromBoundaries({}, {}).ok());      // empty domain
+}
+
+TEST(HistogramTest, BucketSse) {
+  Bucket b;
+  b.begin = 0;
+  b.end = 4;
+  // values 1, 1, 3, 3 -> mean 2, SSE = 4.
+  b.sum = 8;
+  b.sumsq = 1 + 1 + 9 + 9;
+  EXPECT_DOUBLE_EQ(b.Sse(), 4.0);
+  EXPECT_DOUBLE_EQ(b.Mean(), 2.0);
+}
+
+TEST(HistogramTest, SingleBucketEstimateIsGlobalMean) {
+  std::vector<uint64_t> data = {0, 0, 12};
+  auto h = Histogram::FromBoundaries(data, {});
+  ASSERT_TRUE(h.ok());
+  for (uint64_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(h->Estimate(i), 4.0);
+}
+
+TEST(EquiWidthTest, BucketsHaveNearEqualWidth) {
+  auto data = RandomData(100, 1, 50);
+  auto h = BuildEquiWidth(data, 7);
+  ASSERT_TRUE(h.ok());
+  ExpectValidPartition(*h, 100, 7);
+  EXPECT_EQ(h->num_buckets(), 7u);
+  for (const Bucket& b : h->buckets()) {
+    EXPECT_GE(b.width(), 100 / 7);
+    EXPECT_LE(b.width(), 100 / 7 + 1);
+  }
+}
+
+TEST(EquiWidthTest, BetaLargerThanDomainClamps) {
+  std::vector<uint64_t> data = {5, 6, 7};
+  auto h = BuildEquiWidth(data, 10);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(h->Estimate(i), static_cast<double>(data[i]));
+  }
+}
+
+TEST(EquiDepthTest, MassIsBalanced) {
+  auto data = RandomData(500, 2, 100);
+  auto h = BuildEquiDepth(data, 10);
+  ASSERT_TRUE(h.ok());
+  ExpectValidPartition(*h, 500, 10);
+  double total = 0.0;
+  for (const Bucket& b : h->buckets()) total += b.sum;
+  double target = total / static_cast<double>(h->num_buckets());
+  // Each bucket within 3x of target mass (loose: single values can exceed).
+  for (const Bucket& b : h->buckets()) {
+    EXPECT_LE(b.sum, target * 3 + 100);
+  }
+}
+
+TEST(EquiDepthTest, HandlesAllZeros) {
+  std::vector<uint64_t> data(20, 0);
+  auto h = BuildEquiDepth(data, 4);
+  ASSERT_TRUE(h.ok());
+  ExpectValidPartition(*h, 20, 4);
+  EXPECT_DOUBLE_EQ(h->Estimate(7), 0.0);
+}
+
+TEST(EquiDepthTest, SkewedMassIsolatesHeavyRegion) {
+  std::vector<uint64_t> data(100, 1);
+  data[50] = 1000;
+  auto h = BuildEquiDepth(data, 4);
+  ASSERT_TRUE(h.ok());
+  ExpectValidPartition(*h, 100, 4);
+  // The heavy position must not share a bucket with the whole domain.
+  const Bucket& heavy = h->BucketFor(50);
+  EXPECT_LT(heavy.width(), 60u);
+}
+
+// Brute-force optimal SSE by trying all boundary placements.
+double BruteVOptimalSse(const std::vector<uint64_t>& data, size_t beta,
+                        size_t start = 0) {
+  if (beta == 1) {
+    Bucket b = MakeBucket(data, start, data.size());
+    return b.Sse();
+  }
+  double best = 1e300;
+  for (size_t cut = start + 1; cut + (beta - 1) <= data.size(); ++cut) {
+    Bucket b = MakeBucket(data, start, cut);
+    double rest = BruteVOptimalSse(data, beta - 1, cut);
+    best = std::min(best, b.Sse() + rest);
+  }
+  return best;
+}
+
+TEST(VOptimalExactTest, MatchesBruteForce) {
+  for (uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    auto data = RandomData(12, seed, 20);
+    for (size_t beta : {1u, 2u, 3u, 4u}) {
+      auto h = BuildVOptimalExact(data, beta);
+      ASSERT_TRUE(h.ok());
+      ExpectValidPartition(*h, data.size(), beta);
+      double brute = BruteVOptimalSse(data, beta);
+      EXPECT_NEAR(h->TotalSse(), brute, 1e-6)
+          << "seed " << seed << " beta " << beta;
+    }
+  }
+}
+
+TEST(VOptimalExactTest, PerfectFitWhenBetaCoversSteps) {
+  // Three constant plateaus -> zero SSE with 3 buckets.
+  std::vector<uint64_t> data = {5, 5, 5, 9, 9, 9, 2, 2, 2};
+  auto h = BuildVOptimalExact(data, 3);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->TotalSse(), 0.0, 1e-9);
+}
+
+TEST(VOptimalExactTest, RefusesHugeDomain) {
+  std::vector<uint64_t> data(5000, 1);
+  auto h = BuildVOptimalExact(data, 4, /*max_n=*/4096);
+  ASSERT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(VOptimalGreedyTest, ValidPartitionAndExactBucketCount) {
+  auto data = RandomData(1000, 5, 200);
+  for (size_t beta : {1u, 2u, 10u, 100u, 500u, 1000u}) {
+    auto h = BuildVOptimalGreedy(data, beta);
+    ASSERT_TRUE(h.ok());
+    ExpectValidPartition(*h, 1000, beta);
+    EXPECT_EQ(h->num_buckets(), beta);
+  }
+}
+
+TEST(VOptimalGreedyTest, ZeroSseOnPlateaus) {
+  std::vector<uint64_t> data;
+  for (int p = 0; p < 5; ++p) {
+    for (int i = 0; i < 10; ++i) data.push_back(p * 7);
+  }
+  auto h = BuildVOptimalGreedy(data, 5);
+  ASSERT_TRUE(h.ok());
+  EXPECT_NEAR(h->TotalSse(), 0.0, 1e-9);
+}
+
+TEST(VOptimalGreedyTest, CloseToExactOnSmallInputs) {
+  // Greedy is a heuristic; on small random inputs it should stay within a
+  // small constant factor of the DP optimum.
+  for (uint64_t seed : {10ULL, 11ULL, 12ULL, 13ULL, 14ULL}) {
+    auto data = RandomData(64, seed, 30);
+    for (size_t beta : {4u, 8u, 16u}) {
+      auto exact = BuildVOptimalExact(data, beta);
+      auto greedy = BuildVOptimalGreedy(data, beta);
+      ASSERT_TRUE(exact.ok());
+      ASSERT_TRUE(greedy.ok());
+      EXPECT_LE(greedy->TotalSse(), exact->TotalSse() * 2.0 + 1e-9)
+          << "seed " << seed << " beta " << beta;
+    }
+  }
+}
+
+TEST(MaxDiffTest, CutsAtLargestGaps) {
+  std::vector<uint64_t> data = {1, 1, 1, 100, 100, 100, 1, 1, 1};
+  auto h = BuildMaxDiff(data, 3);
+  ASSERT_TRUE(h.ok());
+  ASSERT_EQ(h->num_buckets(), 3u);
+  EXPECT_EQ(h->buckets()[0].end, 3u);
+  EXPECT_EQ(h->buckets()[1].end, 6u);
+  EXPECT_NEAR(h->TotalSse(), 0.0, 1e-9);
+}
+
+TEST(MaxDiffTest, SingleBucket) {
+  std::vector<uint64_t> data = {3, 9, 1};
+  auto h = BuildMaxDiff(data, 1);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(h->num_buckets(), 1u);
+}
+
+TEST(EndBiasedTest, IsolatesHeavyHitters) {
+  std::vector<uint64_t> data(50, 2);
+  data[10] = 500;
+  data[30] = 900;
+  auto h = BuildEndBiased(data, 9);  // 4 singletons allowed
+  ASSERT_TRUE(h.ok());
+  ExpectValidPartition(*h, 50, 9);
+  EXPECT_EQ(h->BucketFor(10).width(), 1u);
+  EXPECT_EQ(h->BucketFor(30).width(), 1u);
+  EXPECT_DOUBLE_EQ(h->Estimate(10), 500.0);
+  EXPECT_DOUBLE_EQ(h->Estimate(30), 900.0);
+}
+
+TEST(EndBiasedTest, RespectsBudget) {
+  auto data = RandomData(200, 7, 1000);
+  for (size_t beta : {2u, 5u, 9u, 33u}) {
+    auto h = BuildEndBiased(data, beta);
+    ASSERT_TRUE(h.ok());
+    EXPECT_LE(h->num_buckets(), beta);
+  }
+}
+
+TEST(BuilderDispatchTest, AllTypesBuild) {
+  auto data = RandomData(128, 9, 40);
+  for (HistogramType type :
+       {HistogramType::kEquiWidth, HistogramType::kEquiDepth,
+        HistogramType::kVOptimal, HistogramType::kVOptimalExact,
+        HistogramType::kMaxDiff, HistogramType::kEndBiased}) {
+    auto h = BuildHistogram(type, data, 8);
+    ASSERT_TRUE(h.ok()) << HistogramTypeName(type);
+    ExpectValidPartition(*h, 128, 8);
+  }
+}
+
+TEST(BuilderDispatchTest, NamesRoundTrip) {
+  for (HistogramType type :
+       {HistogramType::kEquiWidth, HistogramType::kEquiDepth,
+        HistogramType::kVOptimal, HistogramType::kVOptimalExact,
+        HistogramType::kMaxDiff, HistogramType::kEndBiased}) {
+    auto parsed = ParseHistogramType(HistogramTypeName(type));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, type);
+  }
+  EXPECT_FALSE(ParseHistogramType("nope").ok());
+}
+
+TEST(BuilderInvariantTest, MoreBucketsNeverIncreaseSse) {
+  auto data = RandomData(256, 21, 100);
+  double prev = 1e300;
+  for (size_t beta : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    auto h = BuildVOptimalGreedy(data, beta);
+    ASSERT_TRUE(h.ok());
+    EXPECT_LE(h->TotalSse(), prev + 1e-9) << "beta " << beta;
+    prev = h->TotalSse();
+  }
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,119 @@
+// Tests for the ideal ordering baseline and the L2 composite ordering
+// prototype (the paper's Section 5 future-work direction).
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/distribution.h"
+#include "ordering/composite.h"
+#include "ordering/factory.h"
+#include "ordering/ideal.h"
+#include "path/selectivity.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+using testing_util::SmallGraph;
+
+class IdealOrderingTest : public ::testing::Test {
+ protected:
+  IdealOrderingTest() : graph_(SmallGraph()) {
+    auto map = ComputeSelectivities(graph_, 3);
+    PATHEST_CHECK(map.ok(), "selectivity computation failed");
+    map_ = std::make_unique<SelectivityMap>(std::move(*map));
+  }
+
+  Graph graph_;
+  std::unique_ptr<SelectivityMap> map_;
+};
+
+TEST_F(IdealOrderingTest, IsABijection) {
+  IdealOrdering ideal(*map_);
+  for (uint64_t i = 0; i < ideal.size(); ++i) {
+    EXPECT_EQ(ideal.Rank(ideal.Unrank(i)), i);
+  }
+}
+
+TEST_F(IdealOrderingTest, SelectivityIsMonotoneOverIndexes) {
+  IdealOrdering ideal(*map_);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < ideal.size(); ++i) {
+    uint64_t f = map_->Get(ideal.Unrank(i));
+    EXPECT_GE(f, prev) << "index " << i;
+    prev = f;
+  }
+}
+
+TEST_F(IdealOrderingTest, FactorySupportsIdeal) {
+  auto ordering = MakeOrderingWithSelectivities("ideal", graph_, 3, *map_);
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_EQ((*ordering)->name(), "ideal");
+}
+
+TEST_F(IdealOrderingTest, FactoryRejectsSpaceMismatch) {
+  auto ordering = MakeOrderingWithSelectivities("ideal", graph_, 2, *map_);
+  EXPECT_FALSE(ordering.ok());
+}
+
+class CompositeOrderingTest : public ::testing::Test {
+ protected:
+  CompositeOrderingTest() : graph_(SmallGraph()) {
+    auto map = ComputeSelectivities(graph_, 4);
+    PATHEST_CHECK(map.ok(), "selectivity computation failed");
+    map_ = std::make_unique<SelectivityMap>(std::move(*map));
+  }
+
+  Graph graph_;
+  std::unique_ptr<SelectivityMap> map_;
+};
+
+TEST_F(CompositeOrderingTest, IsABijection) {
+  PathSpace space(graph_.num_labels(), 4);
+  BaseLabelSet base = BaseLabelSet::UpToLength(graph_.num_labels(), 2);
+  CompositeBaseOrdering ordering(space, base, *map_);
+  EXPECT_EQ(ordering.name(), "sum-L2");
+  for (uint64_t i = 0; i < ordering.size(); ++i) {
+    EXPECT_EQ(ordering.Rank(ordering.Unrank(i)), i);
+  }
+}
+
+TEST_F(CompositeOrderingTest, LengthMajorAndKeyMonotone) {
+  PathSpace space(graph_.num_labels(), 3);
+  BaseLabelSet base = BaseLabelSet::UpToLength(graph_.num_labels(), 2);
+  CompositeBaseOrdering ordering(space, base, *map_);
+  size_t prev_len = 1;
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < ordering.size(); ++i) {
+    LabelPath p = ordering.Unrank(i);
+    if (p.length() != prev_len) {
+      EXPECT_GT(p.length(), prev_len);
+      prev_len = p.length();
+      prev_key = 0;
+    }
+    uint64_t key = ordering.SummedPieceRank(p);
+    EXPECT_GE(key, prev_key) << "index " << i;
+    prev_key = key;
+  }
+}
+
+TEST_F(CompositeOrderingTest, FactorySupportsSumL2) {
+  auto ordering = MakeOrderingWithSelectivities("sum-L2", graph_, 3, *map_);
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_EQ((*ordering)->name(), "sum-L2");
+  // Distribution still a permutation of the truth.
+  auto dist = BuildDistribution(*map_, **ordering);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->size(), PathSpace(graph_.num_labels(), 3).size());
+}
+
+TEST_F(CompositeOrderingTest, FactoryRequiresLength2Coverage) {
+  auto map1 = ComputeSelectivities(graph_, 1);
+  ASSERT_TRUE(map1.ok());
+  EXPECT_FALSE(
+      MakeOrderingWithSelectivities("sum-L2", graph_, 1, *map1).ok());
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,120 @@
+// End-to-end integration tests: dataset generation -> exact selectivities ->
+// ordering -> V-optimal histogram -> estimation accuracy, exercising the
+// same pipeline the paper's Figure 2 uses (at reduced scale).
+
+#include <map>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "gen/datasets.h"
+#include "ordering/factory.h"
+#include "path/selectivity.h"
+
+namespace pathest {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.04;
+  static constexpr size_t kK = 4;
+
+  void SetUp() override {
+    auto graph = BuildDataset(DatasetId::kMorenoHealth, kScale, 123);
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::make_unique<Graph>(std::move(*graph));
+    auto map = ComputeSelectivities(*graph_, kK);
+    ASSERT_TRUE(map.ok());
+    map_ = std::make_unique<SelectivityMap>(std::move(*map));
+  }
+
+  std::unique_ptr<Graph> graph_;
+  std::unique_ptr<SelectivityMap> map_;
+};
+
+TEST_F(PipelineTest, AllOrderingsProduceBoundedError) {
+  const uint64_t n = PathSpace(graph_->num_labels(), kK).size();
+  for (const std::string& method : PaperOrderingNames()) {
+    auto result =
+        MeasureAccuracy(*graph_, *map_, method, kK, n / 16,
+                        HistogramType::kVOptimal);
+    ASSERT_TRUE(result.ok()) << method;
+    EXPECT_GE(result->errors.mean_abs_error, 0.0) << method;
+    EXPECT_LE(result->errors.mean_abs_error, 1.0) << method;
+    EXPECT_EQ(result->errors.num_queries, n) << method;
+  }
+}
+
+TEST_F(PipelineTest, ErrorDecreasesWithMoreBuckets) {
+  const uint64_t n = PathSpace(graph_->num_labels(), kK).size();
+  double prev = 1.0;
+  for (size_t beta : {n / 64, n / 16, n / 4, n}) {
+    auto result = MeasureAccuracy(*graph_, *map_, "sum-based", kK, beta,
+                                  HistogramType::kVOptimal);
+    ASSERT_TRUE(result.ok());
+    // Greedy v-optimal is nested across beta, so error is monotone up to
+    // noise; allow a small tolerance.
+    EXPECT_LE(result->errors.mean_abs_error, prev + 0.02) << "beta " << beta;
+    prev = result->errors.mean_abs_error;
+  }
+  EXPECT_DOUBLE_EQ(prev, 0.0);  // beta == n is exact
+}
+
+TEST_F(PipelineTest, CardinalityRankingHelpsOnSkewedData) {
+  // On Zipf-skewed moreno-like data the paper's headline effect should show
+  // at small bucket budgets: sum-based <= num-alph in mean error.
+  const uint64_t n = PathSpace(graph_->num_labels(), kK).size();
+  auto sum = MeasureAccuracy(*graph_, *map_, "sum-based", kK, n / 64,
+                             HistogramType::kVOptimal);
+  auto num_alph = MeasureAccuracy(*graph_, *map_, "num-alph", kK, n / 64,
+                                  HistogramType::kVOptimal);
+  ASSERT_TRUE(sum.ok());
+  ASSERT_TRUE(num_alph.ok());
+  EXPECT_LE(sum->errors.mean_abs_error,
+            num_alph->errors.mean_abs_error + 0.02);
+}
+
+TEST_F(PipelineTest, IdealIsTheFloor) {
+  const uint64_t n = PathSpace(graph_->num_labels(), kK).size();
+  auto ideal = MeasureAccuracy(*graph_, *map_, "ideal", kK, n / 32,
+                               HistogramType::kVOptimal);
+  ASSERT_TRUE(ideal.ok());
+  for (const std::string& method : PaperOrderingNames()) {
+    auto r = MeasureAccuracy(*graph_, *map_, method, kK, n / 32,
+                             HistogramType::kVOptimal);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->errors.mean_abs_error,
+              ideal->errors.mean_abs_error - 0.01)
+        << method;
+  }
+}
+
+TEST_F(PipelineTest, HistogramTypesAllWork) {
+  const uint64_t n = PathSpace(graph_->num_labels(), kK).size();
+  for (HistogramType type :
+       {HistogramType::kEquiWidth, HistogramType::kEquiDepth,
+        HistogramType::kVOptimal, HistogramType::kMaxDiff,
+        HistogramType::kEndBiased}) {
+    auto r = MeasureAccuracy(*graph_, *map_, "sum-based", kK, n / 16, type);
+    ASSERT_TRUE(r.ok()) << HistogramTypeName(type);
+    EXPECT_LE(r->errors.mean_abs_error, 1.0);
+  }
+}
+
+TEST(MultiDatasetSmokeTest, TinyEndToEndOnAllDatasets) {
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    auto graph = BuildDataset(spec.id, 0.02, 7);
+    ASSERT_TRUE(graph.ok()) << spec.name;
+    auto map = ComputeSelectivities(*graph, 3);
+    ASSERT_TRUE(map.ok()) << spec.name;
+    const uint64_t n = PathSpace(graph->num_labels(), 3).size();
+    auto r = MeasureAccuracy(*graph, *map, "sum-based", 3, n / 8,
+                             HistogramType::kVOptimal);
+    ASSERT_TRUE(r.ok()) << spec.name;
+    EXPECT_LE(r->errors.mean_abs_error, 1.0) << spec.name;
+  }
+}
+
+}  // namespace
+}  // namespace pathest

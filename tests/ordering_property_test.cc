@@ -1,0 +1,188 @@
+// Property tests over every ordering method: bijection round-trips,
+// stage-structure invariants, and ranking-rule consistency, swept with
+// parameterized gtest across label-set sizes and path lengths.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "ordering/factory.h"
+#include "ordering/lexicographic.h"
+#include "ordering/numerical.h"
+#include "ordering/sum_based.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+// (method, num_labels, k)
+using Param = std::tuple<std::string, size_t, size_t>;
+
+class OrderingPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  void SetUp() override {
+    const auto& [method, num_labels, k] = GetParam();
+    method_ = method;
+    k_ = k;
+    // Distinct, deliberately non-monotone cardinalities so that alphabetical
+    // and cardinality rankings differ.
+    std::vector<std::pair<std::string, uint64_t>> cards;
+    for (size_t i = 0; i < num_labels; ++i) {
+      uint64_t f = 10 + ((i * 37 + 13) % 100) * 3;
+      cards.push_back({std::to_string(i + 1), f});
+    }
+    graph_ = std::make_unique<Graph>(
+        testing_util::GraphWithCardinalities(cards));
+    auto ordering = MakeOrdering(method_, *graph_, k_);
+    ASSERT_TRUE(ordering.ok()) << ordering.status().ToString();
+    ordering_ = std::move(*ordering);
+  }
+
+  std::string method_;
+  size_t k_ = 0;
+  std::unique_ptr<Graph> graph_;
+  OrderingPtr ordering_;
+};
+
+TEST_P(OrderingPropertyTest, UnrankThenRankIsIdentity) {
+  for (uint64_t i = 0; i < ordering_->size(); ++i) {
+    LabelPath p = ordering_->Unrank(i);
+    ASSERT_TRUE(ordering_->space().Contains(p)) << i;
+    EXPECT_EQ(ordering_->Rank(p), i);
+  }
+}
+
+TEST_P(OrderingPropertyTest, RankThenUnrankIsIdentity) {
+  ordering_->space().ForEach([&](const LabelPath& p) {
+    uint64_t i = ordering_->Rank(p);
+    ASSERT_LT(i, ordering_->size());
+    EXPECT_EQ(ordering_->Unrank(i), p);
+  });
+}
+
+TEST_P(OrderingPropertyTest, IndexesAreAPermutation) {
+  std::set<uint64_t> seen;
+  ordering_->space().ForEach(
+      [&](const LabelPath& p) { seen.insert(ordering_->Rank(p)); });
+  EXPECT_EQ(seen.size(), ordering_->size());
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), ordering_->size() - 1);
+}
+
+TEST_P(OrderingPropertyTest, NumAndSumAreLengthMajor) {
+  if (method_ != "num-alph" && method_ != "num-card" &&
+      method_ != "sum-based" && method_ != "sum-alph") {
+    GTEST_SKIP() << "length-major structure applies to num/sum orderings";
+  }
+  // Indexes of shorter paths all precede indexes of longer paths.
+  size_t prev_len = 1;
+  for (uint64_t i = 0; i < ordering_->size(); ++i) {
+    size_t len = ordering_->Unrank(i).length();
+    EXPECT_GE(len, prev_len) << "index " << i;
+    prev_len = len;
+  }
+}
+
+TEST_P(OrderingPropertyTest, SumBasedIsSummedRankMajorWithinLength) {
+  if (method_ != "sum-based" && method_ != "sum-alph") {
+    GTEST_SKIP() << "applies to sum orderings only";
+  }
+  auto* sum = dynamic_cast<SumBasedOrdering*>(ordering_.get());
+  ASSERT_NE(sum, nullptr);
+  const LabelRanking& ranking = sum->ranking();
+  uint64_t prev_key = 0;
+  for (uint64_t i = 0; i < ordering_->size(); ++i) {
+    LabelPath p = ordering_->Unrank(i);
+    uint64_t sr = 0;
+    for (size_t j = 0; j < p.length(); ++j) sr += ranking.RankOf(p.label(j));
+    // Key: (length, summed rank) must be non-decreasing over the domain.
+    uint64_t key = (static_cast<uint64_t>(p.length()) << 32) | sr;
+    EXPECT_GE(key, prev_key) << "index " << i;
+    prev_key = key;
+  }
+}
+
+TEST_P(OrderingPropertyTest, LexNeverPlacesExtensionBeforePrefix) {
+  if (method_ != "lex-alph" && method_ != "lex-card") {
+    GTEST_SKIP() << "prefix property is lex-specific";
+  }
+  // Dictionary order: a path always precedes every path it prefixes.
+  ordering_->space().ForEach([&](const LabelPath& p) {
+    if (p.length() < 2) return;
+    EXPECT_LT(ordering_->Rank(p.Prefix(p.length() - 1)), ordering_->Rank(p));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OrderingPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("num-alph", "num-card", "lex-alph", "lex-card",
+                          "sum-based", "sum-alph", "gray-alph", "gray-card",
+                          "random"),
+        ::testing::Values(2, 3, 5, 6),
+        ::testing::Values(1, 2, 3, 4)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      auto name = std::get<0>(info.param) + "_L" +
+                  std::to_string(std::get<1>(info.param)) + "_k" +
+                  std::to_string(std::get<2>(info.param));
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name;
+    });
+
+// Larger single-shot round-trip at paper scale: 6 labels, k = 6 (|L_6| =
+// 55986) for the two closed-form orderings and sum-based.
+TEST(OrderingScaleTest, PaperScaleRoundTrip) {
+  std::vector<std::pair<std::string, uint64_t>> cards;
+  for (size_t i = 0; i < 6; ++i) {
+    cards.push_back({std::to_string(i + 1), 100 + i * 17});
+  }
+  Graph graph = testing_util::GraphWithCardinalities(cards);
+  for (const std::string& method : PaperOrderingNames()) {
+    auto ordering = MakeOrdering(method, graph, 6);
+    ASSERT_TRUE(ordering.ok());
+    EXPECT_EQ((*ordering)->size(), 55986u);
+    // Stride through the domain to keep runtime bounded.
+    for (uint64_t i = 0; i < (*ordering)->size(); i += 97) {
+      EXPECT_EQ((*ordering)->Rank((*ordering)->Unrank(i)), i);
+    }
+    // Always check the extremes.
+    EXPECT_EQ((*ordering)->Rank((*ordering)->Unrank(0)), 0u);
+    EXPECT_EQ((*ordering)->Rank((*ordering)->Unrank(55985)), 55985u);
+  }
+}
+
+TEST(OrderingFactoryTest, RejectsUnknownMethod) {
+  Graph graph = testing_util::PaperExampleGraph();
+  EXPECT_EQ(MakeOrdering("bogus", graph, 2).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(OrderingFactoryTest, RejectsBadK) {
+  Graph graph = testing_util::PaperExampleGraph();
+  EXPECT_FALSE(MakeOrdering("num-alph", graph, 0).ok());
+  EXPECT_FALSE(MakeOrdering("num-alph", graph, kMaxPathLength + 1).ok());
+}
+
+TEST(OrderingFactoryTest, PaperNamesAllConstruct) {
+  Graph graph = testing_util::PaperExampleGraph();
+  for (const std::string& name : PaperOrderingNames()) {
+    auto ordering = MakeOrdering(name, graph, 3);
+    ASSERT_TRUE(ordering.ok()) << name;
+    EXPECT_EQ((*ordering)->name(), name);
+  }
+}
+
+TEST(OrderingFactoryTest, SumCardAliasesSumBased) {
+  Graph graph = testing_util::PaperExampleGraph();
+  auto ordering = MakeOrdering("sum-card", graph, 2);
+  ASSERT_TRUE(ordering.ok());
+  EXPECT_EQ((*ordering)->name(), "sum-based");
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,190 @@
+// Unit tests for LabelPath, PathSpace, and the greedy splitter.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "path/label_path.h"
+#include "path/path_space.h"
+#include "path/splitter.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+TEST(LabelPathTest, BasicAccessors) {
+  LabelPath p{2, 0, 1};
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_EQ(p.label(0), 2u);
+  EXPECT_EQ(p.label(2), 1u);
+  EXPECT_FALSE(p.empty());
+  EXPECT_TRUE(LabelPath{}.empty());
+}
+
+TEST(LabelPathTest, ExtendAndPrefixSuffix) {
+  LabelPath p{1, 2};
+  LabelPath q = p.Extend(3);
+  EXPECT_EQ(q.length(), 3u);
+  EXPECT_EQ(p.length(), 2u);  // Extend does not mutate
+  EXPECT_EQ(q.Prefix(2), p);
+  EXPECT_EQ(q.Suffix(1), (LabelPath{2, 3}));
+  EXPECT_EQ(q.Suffix(3), LabelPath{});
+}
+
+TEST(LabelPathTest, PushPopRoundTrip) {
+  LabelPath p;
+  p.PushBack(5);
+  p.PushBack(6);
+  EXPECT_EQ(p, (LabelPath{5, 6}));
+  p.PopBack();
+  EXPECT_EQ(p, LabelPath{5});
+}
+
+TEST(LabelPathTest, CanonicalComparisonIsLengthMajor) {
+  EXPECT_LT(LabelPath{9}, (LabelPath{0, 0}));
+  EXPECT_LT((LabelPath{0, 1}), (LabelPath{0, 2}));
+  EXPECT_LT((LabelPath{0, 9}), (LabelPath{1, 0}));
+  EXPECT_FALSE(LabelPath{1} < LabelPath{1});
+}
+
+TEST(LabelPathTest, HashDistinguishesLengthAndContent) {
+  EXPECT_NE(LabelPath{1}.Hash(), (LabelPath{1, 0}).Hash());
+  EXPECT_NE((LabelPath{1, 2}).Hash(), (LabelPath{2, 1}).Hash());
+  EXPECT_EQ((LabelPath{1, 2}).Hash(), (LabelPath{1, 2}).Hash());
+}
+
+TEST(LabelPathTest, ParseAndToString) {
+  Graph g = testing_util::SmallGraph();
+  auto p = LabelPath::Parse("a/b/c", g.labels());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->length(), 3u);
+  EXPECT_EQ(p->ToString(g.labels()), "a/b/c");
+}
+
+TEST(LabelPathTest, ParseRejectsUnknownLabel) {
+  Graph g = testing_util::SmallGraph();
+  EXPECT_EQ(LabelPath::Parse("a/zz", g.labels()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LabelPath::Parse("", g.labels()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(LabelPath::Parse("a//b", g.labels()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LabelPathTest, CapacityIsEnforced) {
+  LabelPath p;
+  for (size_t i = 0; i < kMaxPathLength; ++i) p.PushBack(0);
+  EXPECT_DEATH(p.PushBack(0), "kMaxPathLength");
+}
+
+TEST(PathSpaceTest, SizesMatchGeometricSeries) {
+  PathSpace space(3, 2);
+  EXPECT_EQ(space.size(), 12u);  // 3 + 9
+  EXPECT_EQ(space.CountWithLength(1), 3u);
+  EXPECT_EQ(space.CountWithLength(2), 9u);
+  EXPECT_EQ(space.LengthOffset(1), 0u);
+  EXPECT_EQ(space.LengthOffset(2), 3u);
+
+  PathSpace big(8, 6);
+  EXPECT_EQ(big.size(), 8u + 64 + 512 + 4096 + 32768 + 262144);
+}
+
+TEST(PathSpaceTest, CanonicalRoundTrip) {
+  PathSpace space(4, 3);
+  for (uint64_t i = 0; i < space.size(); ++i) {
+    LabelPath p = space.CanonicalPath(i);
+    EXPECT_EQ(space.CanonicalIndex(p), i);
+    EXPECT_TRUE(space.Contains(p));
+  }
+}
+
+TEST(PathSpaceTest, ForEachVisitsCanonicalOrderExactlyOnce) {
+  PathSpace space(3, 3);
+  uint64_t expected = 0;
+  space.ForEach([&](const LabelPath& p) {
+    EXPECT_EQ(space.CanonicalIndex(p), expected);
+    ++expected;
+  });
+  EXPECT_EQ(expected, space.size());
+}
+
+TEST(PathSpaceTest, ContainsRejectsForeignPaths) {
+  PathSpace space(3, 2);
+  EXPECT_FALSE(space.Contains(LabelPath{}));            // empty
+  EXPECT_FALSE(space.Contains(LabelPath{3}));           // label out of range
+  EXPECT_FALSE(space.Contains((LabelPath{0, 0, 0})));   // too long
+  EXPECT_TRUE(space.Contains((LabelPath{2, 2})));
+}
+
+TEST(BaseLabelSetTest, SingleLabels) {
+  BaseLabelSet base = BaseLabelSet::SingleLabels(4);
+  EXPECT_EQ(base.size(), 4u);
+  EXPECT_EQ(base.max_piece_length(), 1u);
+  EXPECT_TRUE(base.Contains(LabelPath{3}));
+  EXPECT_FALSE(base.Contains((LabelPath{0, 1})));
+}
+
+TEST(BaseLabelSetTest, UpToLengthIsL2) {
+  BaseLabelSet base = BaseLabelSet::UpToLength(3, 2);
+  EXPECT_EQ(base.size(), 12u);  // |L_2| over 3 labels
+  EXPECT_TRUE(base.Contains((LabelPath{2, 1})));
+  EXPECT_EQ(base.max_piece_length(), 2u);
+}
+
+TEST(BaseLabelSetTest, CustomRequiresSingles) {
+  auto missing =
+      BaseLabelSet::Custom(2, {LabelPath{0}, LabelPath{0, 1}});
+  EXPECT_FALSE(missing.ok());  // single label 1 absent
+  auto ok = BaseLabelSet::Custom(2, {LabelPath{0}, LabelPath{1},
+                                     LabelPath{0, 1}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->size(), 3u);
+}
+
+TEST(GreedySplitTest, PaperExample) {
+  // Paper §3.1: with B = L_2, "4/4/3/3/6" splits into "4/4", "3/3", "6".
+  // Using ids: labels 0..5 stand for "1".."6".
+  BaseLabelSet base = BaseLabelSet::UpToLength(6, 2);
+  LabelPath path{3, 3, 2, 2, 5};
+  auto pieces = GreedySplit(path, base);
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], (LabelPath{3, 3}));
+  EXPECT_EQ(pieces[1], (LabelPath{2, 2}));
+  EXPECT_EQ(pieces[2], (LabelPath{5}));
+}
+
+TEST(GreedySplitTest, SingleLabelBaseSplitsFully) {
+  BaseLabelSet base = BaseLabelSet::SingleLabels(4);
+  LabelPath path{1, 2, 3};
+  auto pieces = GreedySplit(path, base);
+  ASSERT_EQ(pieces.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(pieces[i].length(), 1u);
+}
+
+TEST(GreedySplitTest, PiecesConcatenateToOriginal) {
+  BaseLabelSet base = BaseLabelSet::UpToLength(3, 2);
+  PathSpace space(3, 5);
+  space.ForEach([&](const LabelPath& p) {
+    LabelPath rebuilt;
+    for (const LabelPath& piece : GreedySplit(p, base)) {
+      for (size_t i = 0; i < piece.length(); ++i) {
+        rebuilt.PushBack(piece.label(i));
+      }
+    }
+    EXPECT_EQ(rebuilt, p);
+  });
+}
+
+TEST(GreedySplitTest, GreedyPrefersLongestPiece) {
+  // Custom base {0, 1, 0/1}: path 0/1 must split as one piece, not two.
+  auto base = BaseLabelSet::Custom(2, {LabelPath{0}, LabelPath{1},
+                                       LabelPath{0, 1}});
+  ASSERT_TRUE(base.ok());
+  auto pieces = GreedySplit((LabelPath{0, 1}), *base);
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], (LabelPath{0, 1}));
+}
+
+}  // namespace
+}  // namespace pathest

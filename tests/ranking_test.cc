@@ -1,0 +1,73 @@
+// Unit tests for the ranking rules (paper Section 3.1).
+
+#include <gtest/gtest.h>
+
+#include "ordering/ranking.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+TEST(RankingTest, AlphabeticalUsesNames) {
+  LabelDictionary dict;
+  dict.Intern("zeta");   // id 0
+  dict.Intern("alpha");  // id 1
+  dict.Intern("mid");    // id 2
+  LabelRanking ranking = LabelRanking::Alphabetical(dict);
+  EXPECT_EQ(ranking.rule(), RankingRule::kAlphabetical);
+  EXPECT_EQ(ranking.RankOf(1), 1u);  // alpha
+  EXPECT_EQ(ranking.RankOf(2), 2u);  // mid
+  EXPECT_EQ(ranking.RankOf(0), 3u);  // zeta
+}
+
+TEST(RankingTest, CardinalityLowestFirst) {
+  Graph g = testing_util::PaperExampleGraph();  // 1->20, 2->100, 3->80
+  LabelRanking ranking =
+      LabelRanking::Cardinality(g.labels(), {20, 100, 80});
+  EXPECT_EQ(ranking.RankOf(*g.labels().Find("1")), 1u);
+  EXPECT_EQ(ranking.RankOf(*g.labels().Find("3")), 2u);
+  EXPECT_EQ(ranking.RankOf(*g.labels().Find("2")), 3u);
+}
+
+TEST(RankingTest, CardinalityTiesBrokenByName) {
+  LabelDictionary dict;
+  dict.Intern("b");
+  dict.Intern("a");
+  LabelRanking ranking = LabelRanking::Cardinality(dict, {7, 7});
+  EXPECT_EQ(ranking.RankOf(*dict.Find("a")), 1u);
+  EXPECT_EQ(ranking.RankOf(*dict.Find("b")), 2u);
+}
+
+TEST(RankingTest, RoundTripBijection) {
+  LabelDictionary dict;
+  for (int i = 0; i < 8; ++i) dict.Intern(std::to_string((i * 3) % 8));
+  for (auto rule : {RankingRule::kAlphabetical, RankingRule::kCardinality}) {
+    std::vector<uint64_t> cards = {5, 1, 9, 3, 7, 2, 8, 4};
+    LabelRanking ranking = LabelRanking::Make(rule, dict, cards);
+    for (uint32_t r = 1; r <= 8; ++r) {
+      EXPECT_EQ(ranking.RankOf(ranking.LabelAt(r)), r);
+    }
+    for (LabelId l = 0; l < 8; ++l) {
+      EXPECT_EQ(ranking.LabelAt(ranking.RankOf(l)), l);
+    }
+  }
+}
+
+TEST(RankingTest, RuleNames) {
+  EXPECT_STREQ(RankingRuleName(RankingRule::kAlphabetical), "alph");
+  EXPECT_STREQ(RankingRuleName(RankingRule::kCardinality), "card");
+}
+
+TEST(RankingTest, NumericNamesSortLexicographically) {
+  // Note: alphabetical ranking is by NAME, so "10" < "2". This mirrors the
+  // behaviour of dictionary orders on string labels.
+  LabelDictionary dict;
+  dict.Intern("2");
+  dict.Intern("10");
+  LabelRanking ranking = LabelRanking::Alphabetical(dict);
+  EXPECT_EQ(ranking.RankOf(*dict.Find("10")), 1u);
+  EXPECT_EQ(ranking.RankOf(*dict.Find("2")), 2u);
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,155 @@
+// Tests for estimator persistence (core/serialize.h): format round-trips,
+// estimate preservation, and corruption handling.
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "ordering/factory.h"
+#include "path/selectivity.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+using testing_util::SmallGraph;
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  SerializeTest() : graph_(SmallGraph()) {
+    auto map = ComputeSelectivities(graph_, 3);
+    PATHEST_CHECK(map.ok(), "selectivities failed");
+    map_ = std::make_unique<SelectivityMap>(std::move(*map));
+  }
+
+  PathHistogram BuildEstimator(const std::string& method, size_t beta) {
+    auto ordering = MakeOrdering(method, graph_, 3);
+    PATHEST_CHECK(ordering.ok(), "ordering failed");
+    auto est = PathHistogram::Build(*map_, std::move(*ordering),
+                                    HistogramType::kVOptimal, beta);
+    PATHEST_CHECK(est.ok(), "estimator failed");
+    return std::move(*est);
+  }
+
+  std::string Serialized(const PathHistogram& est) {
+    std::vector<uint64_t> cards;
+    for (LabelId l = 0; l < graph_.num_labels(); ++l) {
+      cards.push_back(graph_.LabelCardinality(l));
+    }
+    std::ostringstream out;
+    PATHEST_CHECK(
+        WritePathHistogram(est, graph_.labels(), cards, &out).ok(),
+        "write failed");
+    return out.str();
+  }
+
+  Graph graph_;
+  std::unique_ptr<SelectivityMap> map_;
+};
+
+TEST_F(SerializeTest, SerializableOrderingPredicate) {
+  for (const char* ok :
+       {"num-alph", "num-card", "lex-alph", "lex-card", "sum-based",
+        "gray-card"}) {
+    EXPECT_TRUE(IsSerializableOrdering(ok)) << ok;
+  }
+  for (const char* bad : {"ideal", "random", "sum-L2", "bogus"}) {
+    EXPECT_FALSE(IsSerializableOrdering(bad)) << bad;
+  }
+}
+
+TEST_F(SerializeTest, RoundTripPreservesEveryEstimate) {
+  for (const std::string& method : PaperOrderingNames()) {
+    PathHistogram original = BuildEstimator(method, 8);
+    std::istringstream in(Serialized(original));
+    auto loaded = ReadPathHistogram(&in);
+    ASSERT_TRUE(loaded.ok()) << method << ": "
+                             << loaded.status().ToString();
+    EXPECT_EQ(loaded->estimator.ordering().name(), method);
+    EXPECT_EQ(loaded->estimator.histogram().num_buckets(), 8u);
+    PathSpace space(graph_.num_labels(), 3);
+    space.ForEach([&](const LabelPath& p) {
+      // Re-parse the path against the loaded dictionary in case label ids
+      // were re-assigned (they are written in id order, so they are not).
+      EXPECT_DOUBLE_EQ(loaded->estimator.Estimate(p), original.Estimate(p))
+          << method << " " << p.ToIdString();
+    });
+  }
+}
+
+TEST_F(SerializeTest, RoundTripPreservesBucketsExactly) {
+  PathHistogram original = BuildEstimator("sum-based", 6);
+  std::istringstream in(Serialized(original));
+  auto loaded = ReadPathHistogram(&in);
+  ASSERT_TRUE(loaded.ok());
+  const auto& a = original.histogram().buckets();
+  const auto& b = loaded->estimator.histogram().buckets();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].begin, b[i].begin);
+    EXPECT_EQ(a[i].end, b[i].end);
+    EXPECT_DOUBLE_EQ(a[i].sum, b[i].sum);      // hexfloat: bit-exact
+    EXPECT_DOUBLE_EQ(a[i].sumsq, b[i].sumsq);
+  }
+  EXPECT_EQ(loaded->estimator.histogram_type(), HistogramType::kVOptimal);
+}
+
+TEST_F(SerializeTest, FileRoundTrip) {
+  PathHistogram original = BuildEstimator("lex-card", 4);
+  std::string path = (std::filesystem::temp_directory_path() /
+                      "pathest_serialize_test.stats")
+                         .string();
+  ASSERT_TRUE(SavePathHistogram(original, graph_, path).ok());
+  auto loaded = LoadPathHistogram(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->estimator.ordering().name(), "lex-card");
+  std::filesystem::remove(path);
+}
+
+TEST_F(SerializeTest, RefusesMaterializedOrderings) {
+  auto ideal = MakeOrderingWithSelectivities("ideal", graph_, 3, *map_);
+  ASSERT_TRUE(ideal.ok());
+  auto est = PathHistogram::Build(*map_, std::move(*ideal),
+                                  HistogramType::kVOptimal, 4);
+  ASSERT_TRUE(est.ok());
+  std::vector<uint64_t> cards(graph_.num_labels(), 1);
+  std::ostringstream out;
+  Status st = WritePathHistogram(*est, graph_.labels(), cards, &out);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  std::istringstream in("not a histogram file\n");
+  EXPECT_EQ(ReadPathHistogram(&in).status().code(), StatusCode::kIOError);
+}
+
+TEST_F(SerializeTest, RejectsTruncatedFile) {
+  std::string full = Serialized(BuildEstimator("num-card", 4));
+  // Drop the last two lines.
+  std::string truncated = full.substr(0, full.rfind('\n', full.size() - 2));
+  truncated = truncated.substr(0, truncated.rfind('\n'));
+  std::istringstream in(truncated);
+  EXPECT_FALSE(ReadPathHistogram(&in).ok());
+}
+
+TEST_F(SerializeTest, RejectsCorruptedBuckets) {
+  std::string full = Serialized(BuildEstimator("num-card", 4));
+  // Corrupt a bucket boundary to break contiguity.
+  size_t pos = full.find("buckets 4\n");
+  ASSERT_NE(pos, std::string::npos);
+  size_t line_start = pos + std::string("buckets 4\n").size();
+  size_t line_end = full.find('\n', line_start);
+  full.replace(line_start, line_end - line_start, "5 7 0x1p+3 0x1p+6");
+  std::istringstream in(full);
+  EXPECT_FALSE(ReadPathHistogram(&in).ok());
+}
+
+TEST_F(SerializeTest, LoadMissingFileFails) {
+  EXPECT_EQ(LoadPathHistogram("/nonexistent/x.stats").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,0 +1,59 @@
+// Shared helpers for pathest tests.
+
+#ifndef PATHEST_TESTS_TEST_UTIL_H_
+#define PATHEST_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/graph_builder.h"
+#include "util/status.h"
+
+namespace pathest {
+namespace testing_util {
+
+// Builds a graph whose per-label cardinalities are exactly as requested, by
+// laying out disjoint (src, dst) pairs per label. Vertex ids are arbitrary.
+inline Graph GraphWithCardinalities(
+    const std::vector<std::pair<std::string, uint64_t>>& label_cards) {
+  GraphBuilder builder;
+  VertexId next = 0;
+  for (const auto& [name, card] : label_cards) {
+    LabelId l = builder.AddLabel(name);
+    for (uint64_t i = 0; i < card; ++i) {
+      builder.AddEdge(next, l, next + 1);
+      next += 2;
+    }
+  }
+  auto graph = builder.Build();
+  PATHEST_CHECK(graph.ok(), "GraphWithCardinalities build failed");
+  return std::move(graph).ValueOrDie();
+}
+
+// The artificial dataset of the paper's Section 3.4: labels "1", "2", "3"
+// with cardinalities 20, 100, 80.
+inline Graph PaperExampleGraph() {
+  return GraphWithCardinalities({{"1", 20}, {"2", 100}, {"3", 80}});
+}
+
+// A small deterministic diamond-ish graph for selectivity tests:
+//   0 -a-> 1, 0 -a-> 2, 1 -b-> 3, 2 -b-> 3, 3 -c-> 0, 1 -a-> 3.
+inline Graph SmallGraph() {
+  GraphBuilder builder;
+  builder.AddEdge(0, "a", 1);
+  builder.AddEdge(0, "a", 2);
+  builder.AddEdge(1, "b", 3);
+  builder.AddEdge(2, "b", 3);
+  builder.AddEdge(3, "c", 0);
+  builder.AddEdge(1, "a", 3);
+  auto graph = builder.Build(/*with_reverse=*/true);
+  PATHEST_CHECK(graph.ok(), "SmallGraph build failed");
+  return std::move(graph).ValueOrDie();
+}
+
+}  // namespace testing_util
+}  // namespace pathest
+
+#endif  // PATHEST_TESTS_TEST_UTIL_H_

@@ -1,0 +1,236 @@
+// Unit tests for Status/Result, logging, timer, CSV, and RNG utilities.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace pathest {
+namespace {
+
+TEST(StatusTest, OkIsDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kOutOfRange,
+        StatusCode::kNotFound, StatusCode::kAlreadyExists, StatusCode::kIOError,
+        StatusCode::kNotImplemented, StatusCode::kInternal,
+        StatusCode::kResourceExhausted}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PATHEST_RETURN_NOT_OK(Status::NotFound("x"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kNotFound);
+  auto succeeds = []() -> Status {
+    PATHEST_RETURN_NOT_OK(Status::OK());
+    return Status::Internal("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("too big"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.status().message(), "too big");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(CheckTest, AbortsOnFailure) {
+  EXPECT_DEATH(PATHEST_CHECK(false, "invariant broken"), "invariant broken");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Rng rng(99);
+  constexpr uint64_t kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBounded(kBuckets)];
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / kBuckets * 0.9);
+    EXPECT_LT(c, kDraws / kBuckets * 1.1);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfDistribution zipf(4, 0.0);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(zipf.Pmf(i), 0.25, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsLowIndexes) {
+  ZipfDistribution zipf(10, 1.0);
+  for (uint64_t i = 1; i < 10; ++i) {
+    EXPECT_GT(zipf.Pmf(i - 1), zipf.Pmf(i));
+  }
+  // Classic harmonic ratio: pmf(0) / pmf(1) == 2.
+  EXPECT_NEAR(zipf.Pmf(0) / zipf.Pmf(1), 2.0, 1e-9);
+}
+
+TEST(ZipfTest, SamplesMatchPmf) {
+  ZipfDistribution zipf(5, 1.0);
+  Rng rng(3);
+  constexpr int kDraws = 200000;
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (uint64_t i = 0; i < 5; ++i) {
+    double expected = zipf.Pmf(i) * kDraws;
+    EXPECT_NEAR(counts[i], expected, expected * 0.05 + 50);
+  }
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  // Burn a little CPU.
+  volatile uint64_t x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GT(timer.ElapsedNanos(), 0);
+  EXPECT_GE(timer.ElapsedSeconds(), 0.0);
+  double before = timer.ElapsedMicros();
+  timer.Reset();
+  EXPECT_LE(timer.ElapsedMicros(), before + 1e6);
+}
+
+TEST(CsvTest, QuotingRules) {
+  EXPECT_EQ(CsvWriter::QuoteCell("plain"), "plain");
+  EXPECT_EQ(CsvWriter::QuoteCell("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::QuoteCell("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::QuoteCell("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WritesFile) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "pathest_csv_test.csv")
+          .string();
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path, {"a", "b"}).ok());
+  ASSERT_TRUE(writer.WriteRow({"1", "x,y"}).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "a,b\n1,\"x,y\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsWidthMismatch) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "pathest_csv_test2.csv")
+          .string();
+  CsvWriter writer;
+  ASSERT_TRUE(writer.Open(path, {"a", "b"}).ok());
+  EXPECT_EQ(writer.WriteRow({"only-one"}).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(writer.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, CellFormatting) {
+  EXPECT_EQ(CsvCell(uint64_t{42}), "42");
+  EXPECT_EQ(CsvCell(int64_t{-3}), "-3");
+  EXPECT_EQ(CsvCell(0.5), "0.5");
+}
+
+TEST(LoggingTest, RespectsLevel) {
+  LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  PATHEST_LOG(Info) << "should be suppressed";
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace pathest
