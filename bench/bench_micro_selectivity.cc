@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <vector>
+
 #include "core/distribution.h"
 #include "gen/datasets.h"
 #include "histogram/builders.h"
@@ -23,17 +26,41 @@ const Graph& BenchGraph() {
   return *graph;
 }
 
+// Args: {k, num_threads}. The threads=1 rows are the serial baseline; the
+// speedup claim of the parallel engine is threads=N row vs threads=1 row at
+// equal k. Every row's map is asserted bit-identical to the serial one.
 void BM_ComputeSelectivities(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
+  const size_t threads = static_cast<size_t>(state.range(1));
+  SelectivityOptions options;
+  options.num_threads = threads;
+  static std::map<size_t, std::vector<uint64_t>>* serial_maps =
+      new std::map<size_t, std::vector<uint64_t>>();
   for (auto _ : state) {
-    auto map = ComputeSelectivities(BenchGraph(), k);
+    auto map = ComputeSelectivities(BenchGraph(), k, options);
     PATHEST_CHECK(map.ok(), "selectivity failed");
     benchmark::DoNotOptimize(map->Total());
+    if (threads == 1) {
+      (*serial_maps)[k] = map->values();
+    } else if (auto it = serial_maps->find(k); it != serial_maps->end()) {
+      PATHEST_CHECK(it->second == map->values(),
+                    "parallel map differs from serial baseline");
+    }
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(PathSpace(6, k).size()));
 }
-BENCHMARK(BM_ComputeSelectivities)->Arg(2)->Arg(3)->Arg(4)->Arg(5);
+BENCHMARK(BM_ComputeSelectivities)
+    ->Args({2, 1})
+    ->Args({3, 1})
+    ->Args({4, 1})
+    ->Args({4, 2})
+    ->Args({4, 4})
+    ->Args({5, 1})
+    ->Args({5, 2})
+    ->Args({5, 4})
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 const std::vector<uint64_t>& BenchDistribution() {
   static const std::vector<uint64_t>* dist = [] {

@@ -9,6 +9,7 @@
 // walks the three-stage combinatorial partitioning.
 
 #include <cstdio>
+#include <utility>
 
 #include "bench_util.h"
 #include "core/experiment.h"
@@ -23,7 +24,13 @@ int Run() {
   const size_t reps = bench::SizeFromEnv("PATHEST_REPS", 20);
 
   Graph graph = bench::BuildBenchDataset(DatasetId::kMorenoHealth);
-  SelectivityMap map = bench::ComputeWithProgress(graph, k, "moreno");
+  SelectivityOptions sel_options;
+  sel_options.num_threads = bench::ThreadsFromEnv();
+  auto build = MeasureSelectivityBuild(graph, k, sel_options);
+  bench::DieIf(build.status(), "selectivity computation");
+  std::printf("selectivity build profile (ground truth for the sweep):\n%s\n",
+              SelectivityBuildReport(graph, *build).ToString().c_str());
+  SelectivityMap map = std::move(build->map);
 
   PathSpace space(graph.num_labels(), k);
   std::printf("Table 4: average estimation time per query (microseconds), "

@@ -36,23 +36,6 @@ inline Graph BuildBenchDataset(DatasetId id, uint64_t seed = 42) {
   return std::move(graph).ValueOrDie();
 }
 
-// Computes exact selectivities with a progress line per root label.
-inline SelectivityMap ComputeWithProgress(const Graph& graph, size_t k,
-                                          const std::string& name) {
-  Timer timer;
-  SelectivityOptions options;
-  options.progress = [&](LabelId root) {
-    PATHEST_LOG(Info) << name << ": selectivity root label " << (root + 1)
-                      << "/" << graph.num_labels() << " done ("
-                      << static_cast<int>(timer.ElapsedSeconds()) << "s)";
-  };
-  auto map = ComputeSelectivities(graph, k, options);
-  DieIf(map.status(), "selectivity computation");
-  PATHEST_LOG(Info) << name << ": exact selectivities for k=" << k
-                    << " computed in " << timer.ElapsedSeconds() << "s";
-  return std::move(map).ValueOrDie();
-}
-
 // Reads a size_t env override (e.g. PATHEST_KMAX), with default.
 inline size_t SizeFromEnv(const char* name, size_t def) {
   const char* env = std::getenv(name);
@@ -61,6 +44,37 @@ inline size_t SizeFromEnv(const char* name, size_t def) {
   unsigned long long v = std::strtoull(env, &end, 10);
   if (end == env || v == 0) return def;
   return static_cast<size_t>(v);
+}
+
+// Worker-thread count for selectivity evaluation: PATHEST_THREADS env, or
+// 0 = one thread per hardware core (the bench default — benches want the
+// fastest build; determinism is unaffected by thread count).
+inline size_t ThreadsFromEnv() { return SizeFromEnv("PATHEST_THREADS", 0); }
+
+// Computes exact selectivities with a progress line per root label.
+// `num_threads` follows SelectivityOptions semantics (0 = hardware) and
+// defaults to the PATHEST_THREADS env override.
+inline SelectivityMap ComputeWithProgress(const Graph& graph, size_t k,
+                                          const std::string& name,
+                                          size_t num_threads = ThreadsFromEnv()) {
+  Timer timer;
+  SelectivityOptions options;
+  options.num_threads = num_threads;
+  // Progress callbacks are mutex-serialized by the evaluator, so a plain
+  // counter is safe. Count completions rather than echoing the root id:
+  // under parallelism roots finish in unspecified order.
+  size_t roots_done = 0;
+  options.progress = [&](LabelId root) {
+    PATHEST_LOG(Info) << name << ": selectivity root " << (root + 1) << " done"
+                      << " (" << ++roots_done << "/" << graph.num_labels()
+                      << ", " << static_cast<int>(timer.ElapsedSeconds())
+                      << "s)";
+  };
+  auto map = ComputeSelectivities(graph, k, options);
+  DieIf(map.status(), "selectivity computation");
+  PATHEST_LOG(Info) << name << ": exact selectivities for k=" << k
+                    << " computed in " << timer.ElapsedSeconds() << "s";
+  return std::move(map).ValueOrDie();
 }
 
 }  // namespace bench

@@ -4,12 +4,17 @@
 // integrating the library.
 //
 // Usage:
+//   pathest_cli [--threads N] <command> ...
 //   pathest_cli generate <dataset> <out.graph> [scale] [seed]
 //   pathest_cli stats <graph-file>
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
 //   pathest_cli estimate <stats-file> <path> [<path> ...]
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
 //   pathest_cli orderings
+//
+// --threads N controls the parallel selectivity engine (the dominant cost
+// of analyze/accuracy): N worker threads, 0 = one per hardware core (the
+// default). Results are bit-identical for every N.
 //
 // Runs with no arguments as a self-demo (generates a small moreno-like
 // graph, analyzes it, estimates a few queries) so that it is exercised by
@@ -33,6 +38,16 @@ using namespace pathest;  // NOLINT — example code favors brevity
 
 namespace {
 
+// Worker threads for selectivity evaluation; set by --threads (0 = one per
+// hardware core). Shared by every subcommand that computes ground truth.
+size_t g_num_threads = 0;
+
+SelectivityOptions CliSelectivityOptions() {
+  SelectivityOptions options;
+  options.num_threads = g_num_threads;
+  return options;
+}
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
@@ -42,13 +57,16 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
+      "  pathest_cli [--threads N] <command> ...\n"
       "  pathest_cli generate <dataset> <out.graph> [scale] [seed]\n"
       "  pathest_cli stats <graph-file>\n"
       "  pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>\n"
       "  pathest_cli estimate <stats-file> <path> [<path> ...]\n"
       "  pathest_cli accuracy <graph-file> <k> <ordering> <beta>\n"
       "  pathest_cli orderings\n"
-      "datasets: moreno dbpedia snap-er snap-ff\n");
+      "datasets: moreno dbpedia snap-er snap-ff\n"
+      "--threads N: selectivity worker threads (0 = hardware cores, "
+      "default)\n");
   return 2;
 }
 
@@ -84,7 +102,7 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   if (!graph.ok()) return Fail(graph.status());
   size_t k = std::strtoull(args[1].c_str(), nullptr, 10);
   size_t beta = std::strtoull(args[3].c_str(), nullptr, 10);
-  auto truth = ComputeSelectivities(*graph, k);
+  auto truth = ComputeSelectivities(*graph, k, CliSelectivityOptions());
   if (!truth.ok()) return Fail(truth.status());
   auto ordering = MakeOrdering(args[2], *graph, k);
   if (!ordering.ok()) return Fail(ordering.status());
@@ -127,7 +145,7 @@ int CmdAccuracy(const std::vector<std::string>& args) {
   if (!graph.ok()) return Fail(graph.status());
   size_t k = std::strtoull(args[1].c_str(), nullptr, 10);
   size_t beta = std::strtoull(args[3].c_str(), nullptr, 10);
-  auto truth = ComputeSelectivities(*graph, k);
+  auto truth = ComputeSelectivities(*graph, k, CliSelectivityOptions());
   if (!truth.ok()) return Fail(truth.status());
   auto result = MeasureAccuracy(*graph, *truth, args[2], k, beta,
                                 HistogramType::kVOptimal);
@@ -158,7 +176,7 @@ int SelfDemo() {
               "see --help)\n\n");
   auto graph = BuildDataset(DatasetId::kMorenoHealth, 0.1, 42);
   if (!graph.ok()) return Fail(graph.status());
-  auto truth = ComputeSelectivities(*graph, 3);
+  auto truth = ComputeSelectivities(*graph, 3, CliSelectivityOptions());
   if (!truth.ok()) return Fail(truth.status());
   auto ordering = MakeOrdering("sum-based", *graph, 3);
   if (!ordering.ok()) return Fail(ordering.status());
@@ -180,9 +198,22 @@ int SelfDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return SelfDemo();
-  std::string cmd = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> all(argv + 1, argv + argc);
+  // Strip the global --threads flag (either "--threads N" or "--threads=N")
+  // wherever it appears.
+  std::vector<std::string> rest;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == "--threads" && i + 1 < all.size()) {
+      g_num_threads = std::strtoull(all[++i].c_str(), nullptr, 10);
+    } else if (all[i].rfind("--threads=", 0) == 0) {
+      g_num_threads = std::strtoull(all[i].c_str() + 10, nullptr, 10);
+    } else {
+      rest.push_back(all[i]);
+    }
+  }
+  if (rest.empty()) return SelfDemo();
+  std::string cmd = rest[0];
+  std::vector<std::string> args(rest.begin() + 1, rest.end());
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "analyze") return CmdAnalyze(args);

@@ -1,10 +1,52 @@
 #include "core/experiment.h"
 
+#include <utility>
+
 #include "core/workload.h"
 #include "ordering/factory.h"
 #include "util/timer.h"
 
 namespace pathest {
+
+Result<SelectivityBuildResult> MeasureSelectivityBuild(
+    const Graph& graph, size_t k, SelectivityOptions options) {
+  std::vector<double> per_label_ms(graph.num_labels(), 0.0);
+  auto user_label_time = std::move(options.label_time);
+  // The recorder runs inside the evaluator's callback mutex, so plain
+  // writes to per_label_ms are safe; each root fires exactly once.
+  options.label_time = [&per_label_ms, &user_label_time](LabelId root,
+                                                         double millis) {
+    per_label_ms[root] = millis;
+    if (user_label_time) user_label_time(root, millis);
+  };
+  const size_t num_threads =
+      ResolvedNumThreads(options, graph.num_labels());
+  Timer timer;
+  auto map = ComputeSelectivities(graph, k, options);
+  const double wall_ms = timer.ElapsedMillis();
+  if (!map.ok()) return map.status();
+  return SelectivityBuildResult{k, num_threads, wall_ms,
+                                std::move(per_label_ms), std::move(*map)};
+}
+
+ReportTable SelectivityBuildReport(const Graph& graph,
+                                   const SelectivityBuildResult& result) {
+  ReportTable table({"label", "card", "eval_ms", "share_%"});
+  double label_total_ms = 0.0;
+  for (double ms : result.per_label_ms) label_total_ms += ms;
+  for (LabelId l = 0; l < result.per_label_ms.size(); ++l) {
+    const double ms = result.per_label_ms[l];
+    const double share = label_total_ms > 0.0 ? 100.0 * ms / label_total_ms
+                                              : 0.0;
+    table.AddRow({graph.labels().Name(l), std::to_string(graph.LabelCardinality(l)),
+                  FormatDouble(ms, 4), FormatDouble(share, 3)});
+  }
+  table.AddRow({"total(wall, " + std::to_string(result.num_threads) +
+                    " thread" + (result.num_threads == 1 ? "" : "s") + ")",
+                std::to_string(graph.num_edges()),
+                FormatDouble(result.wall_ms, 4), "100"});
+  return table;
+}
 
 std::vector<size_t> BetaSweep(uint64_t domain_size, size_t levels) {
   std::vector<size_t> betas;

@@ -10,12 +10,44 @@
 
 #include "core/error.h"
 #include "core/path_histogram.h"
+#include "core/report.h"
 #include "graph/graph.h"
 #include "histogram/builders.h"
 #include "path/selectivity.h"
 #include "util/status.h"
 
 namespace pathest {
+
+/// \brief Build-time profile of one exact-selectivity computation: the
+/// ground-truth map plus where the wall-clock went (total and per root
+/// label). This is the instrumented front door the benches and the CLI use
+/// instead of calling ComputeSelectivities directly.
+struct SelectivityBuildResult {
+  size_t k = 0;
+  /// Worker threads the engine actually used (ResolvedNumThreads: 0 ->
+  /// hardware concurrency, then clamped to the graph's label count).
+  size_t num_threads = 1;
+  /// End-to-end wall time of ComputeSelectivities, milliseconds.
+  double wall_ms = 0.0;
+  /// Per-root-label subtree evaluation time, indexed by LabelId. Under
+  /// num_threads > 1 these overlap, so they sum to more than wall_ms.
+  std::vector<double> per_label_ms;
+  SelectivityMap map;
+};
+
+/// \brief Runs ComputeSelectivities with timing instrumentation.
+///
+/// `options.label_time` is chained, not replaced: a caller-supplied sink
+/// still fires after the internal recorder.
+Result<SelectivityBuildResult> MeasureSelectivityBuild(
+    const Graph& graph, size_t k,
+    SelectivityOptions options = SelectivityOptions{});
+
+/// \brief Renders a build profile as a report table: one row per root label
+/// (name, cardinality, subtree ms, share of summed label time) plus a total
+/// row with the wall time and thread count.
+ReportTable SelectivityBuildReport(const Graph& graph,
+                                   const SelectivityBuildResult& result);
 
 /// \brief The paper's bucket-budget sweep: n/2, n/4, ..., halving for
 /// `levels` steps (Table 4 uses n = 55 996 -> 27993 ... 437 with 7 levels).

@@ -1,0 +1,44 @@
+// pathest: per-worker evaluation context — the scratch arena one worker
+// thread needs to evaluate root-label subtrees of the selectivity DFS.
+//
+// The exact evaluator's working state is three scratch structures (a
+// distinct-marking Marker, a fused LeafCounter, and one reusable PairSet
+// per DFS depth). None of them is thread-safe, and all of them are
+// expensive to allocate relative to a single DFS step — so the engine owns
+// exactly one EvalContext per worker, allocated once up front, and every
+// root subtree dispatched to that worker reuses it. Two workers never share
+// a context; one worker never runs two subtrees concurrently. That is the
+// entire synchronization story of the parallel evaluator: contexts are
+// disjoint, output slices are disjoint, nothing else is written.
+
+#ifndef PATHEST_ENGINE_EVAL_CONTEXT_H_
+#define PATHEST_ENGINE_EVAL_CONTEXT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "path/pair_set.h"
+
+namespace pathest {
+
+/// \brief One worker's scratch arena for selectivity evaluation.
+///
+/// Reusable across any number of sequential evaluations on graphs with at
+/// most `num_vertices` vertices / `num_labels` labels and DFS depth at most
+/// `k`; results are independent of prior use (every structure is
+/// epoch-reset or cleared at the start of each scope).
+struct EvalContext {
+  EvalContext(size_t num_vertices, size_t num_labels, size_t k)
+      : marker(num_vertices),
+        leaf_counter(num_vertices, num_labels),
+        levels(k + 1) {}
+
+  Marker marker;
+  LeafCounter leaf_counter;
+  /// One reusable PairSet per DFS depth (1-based level); levels[0] unused.
+  std::vector<PairSet> levels;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ENGINE_EVAL_CONTEXT_H_

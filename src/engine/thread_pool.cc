@@ -1,0 +1,72 @@
+#include "engine/thread_pool.h"
+
+namespace pathest {
+
+size_t ThreadPool::DefaultThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? DefaultThreads() : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t w = 1; w < num_threads_; ++w) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, w);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::DrainJob(size_t worker) {
+  for (;;) {
+    const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job_size_) return;
+    (*task_)(i, worker);
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  uint64_t seen_generation = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    wake_.wait(lock,
+               [&] { return shutdown_ || generation_ != seen_generation; });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    lock.unlock();
+    DrainJob(worker_id);
+    lock.lock();
+    if (--unfinished_workers_ == 0) done_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const Task& task) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) task(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    task_ = &task;
+    job_size_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
+    unfinished_workers_ = workers_.size();
+    ++generation_;
+  }
+  wake_.notify_all();
+  DrainJob(/*worker=*/0);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_.wait(lock, [&] { return unfinished_workers_ == 0; });
+  task_ = nullptr;
+  job_size_ = 0;
+}
+
+}  // namespace pathest

@@ -1,0 +1,81 @@
+// pathest: a small fixed-size thread pool with an atomic work-queue
+// ParallelFor, the parallel substrate of the evaluation engine.
+//
+// Design constraints, in order:
+//   1. Determinism must be the caller's problem ONLY in work partitioning —
+//      the pool itself adds none: indices are handed out one at a time from
+//      an atomic counter, every index runs exactly once, and ParallelFor
+//      does not return until every index has finished.
+//   2. num_threads == 1 must be genuinely serial: no threads are spawned,
+//      no atomics contended, indices run in order 0..n-1 on the caller.
+//   3. Workers are identified by a dense id in [0, num_threads) so callers
+//      can pre-allocate per-worker scratch (see engine/eval_context.h) and
+//      index it race-free. The calling thread participates as worker 0.
+
+#ifndef PATHEST_ENGINE_THREAD_POOL_H_
+#define PATHEST_ENGINE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathest {
+
+/// \brief Fixed-size pool of worker threads driving a blocking ParallelFor.
+///
+/// The pool spawns num_threads - 1 background workers at construction (the
+/// calling thread is the remaining worker) and joins them at destruction.
+/// ParallelFor may be called any number of times; calls must not overlap
+/// (one in-flight job at a time, enforced by the caller) and tasks must not
+/// call back into the same pool.
+class ThreadPool {
+ public:
+  /// \brief Task signature: (index, worker). `index` is the work item in
+  /// [0, n); `worker` is the dense worker id in [0, num_threads()).
+  using Task = std::function<void(size_t index, size_t worker)>;
+
+  /// \param num_threads worker count; 0 means DefaultThreads().
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// \brief Runs task(i, worker) for every i in [0, n), blocking until all
+  /// complete. Indices are distributed dynamically via an atomic counter;
+  /// each runs exactly once. Tasks must not throw. With num_threads() == 1
+  /// (or n <= 1) this degenerates to a plain serial loop on the caller.
+  void ParallelFor(size_t n, const Task& task);
+
+  /// \brief std::thread::hardware_concurrency with a floor of 1.
+  static size_t DefaultThreads();
+
+ private:
+  // Background worker `worker_id` (in [1, num_threads)); worker 0 is the
+  // ParallelFor caller.
+  void WorkerLoop(size_t worker_id);
+  void DrainJob(size_t worker);
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;  // signals workers: new job or shutdown
+  std::condition_variable done_;  // signals the caller: job fully drained
+  const Task* task_ = nullptr;    // valid while the current job is in flight
+  size_t job_size_ = 0;
+  std::atomic<size_t> next_index_{0};
+  uint64_t generation_ = 0;  // bumped once per job so sleepers can't re-run it
+  size_t unfinished_workers_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_ENGINE_THREAD_POOL_H_

@@ -1,0 +1,79 @@
+#include "path/pair_set.h"
+
+namespace pathest {
+
+LeafCounter::LeafCounter(size_t num_vertices, size_t num_labels)
+    : num_labels_(num_labels),
+      epoch_of_(num_vertices, 0),
+      mask_of_(num_vertices, 0) {
+  PATHEST_CHECK(num_labels <= 64, "LeafCounter supports <= 64 labels");
+}
+
+void LeafCounter::CountExtensions(const Graph& graph, const PairSet& parent,
+                                  uint64_t* counts) {
+  const size_t num_labels = num_labels_;
+  std::vector<Graph::CsrView> views;
+  views.reserve(num_labels);
+  for (LabelId l = 0; l < num_labels; ++l) {
+    views.push_back(graph.ForwardView(l));
+  }
+  for (size_t i = 0; i < parent.srcs.size(); ++i) {
+    ++epoch_;
+    for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
+      const VertexId t = parent.targets[j];
+      for (LabelId l = 0; l < num_labels; ++l) {
+        const Graph::CsrView& adj = views[l];
+        const uint64_t mask_bit = 1ULL << l;
+        for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+          const VertexId u = adj.targets[e];
+          if (epoch_of_[u] != epoch_) {
+            epoch_of_[u] = epoch_;
+            mask_of_[u] = 0;
+          }
+          if ((mask_of_[u] & mask_bit) == 0) {
+            mask_of_[u] |= mask_bit;
+            ++counts[l];
+          }
+        }
+      }
+    }
+  }
+}
+
+void InitialPairSet(const Graph& graph, LabelId l, PairSet* out) {
+  out->Clear();
+  out->offsets.push_back(0);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.OutNeighbors(v, l);
+    if (nbrs.empty()) continue;
+    out->srcs.push_back(v);
+    // CSR targets can contain no duplicates (edge set semantics), so the
+    // span is already a distinct target list.
+    out->targets.insert(out->targets.end(), nbrs.begin(), nbrs.end());
+    out->offsets.push_back(out->targets.size());
+  }
+}
+
+void ExtendPairSet(const Graph& graph, const PairSet& parent, LabelId l,
+                   Marker* marker, PairSet* child) {
+  child->Clear();
+  child->offsets.push_back(0);
+  const Graph::CsrView adj = graph.ForwardView(l);
+  for (size_t i = 0; i < parent.srcs.size(); ++i) {
+    marker->NextEpoch();
+    const size_t before = child->targets.size();
+    for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
+      const VertexId t = parent.targets[j];
+      for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+        const VertexId u = adj.targets[e];
+        if (marker->Mark(u)) child->targets.push_back(u);
+      }
+    }
+    if (child->targets.size() > before) {
+      child->srcs.push_back(parent.srcs[i]);
+      child->offsets.push_back(child->targets.size());
+    }
+  }
+}
+
+}  // namespace pathest

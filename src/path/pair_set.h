@@ -1,0 +1,96 @@
+// pathest: the evaluator's scratch data structures — distinct pair sets and
+// the epoch markers that deduplicate them.
+//
+// These types used to live inside selectivity.cc; they are exposed here so
+// the engine layer (engine/eval_context.h) can own one instance of each per
+// worker thread. They are scratch, not values: every structure is reusable
+// across evaluations and none is thread-safe on its own — parallel callers
+// get isolation by owning disjoint instances, one per worker.
+
+#ifndef PATHEST_PATH_PAIR_SET_H_
+#define PATHEST_PATH_PAIR_SET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace pathest {
+
+/// \brief Distinct pair set of one path prefix, grouped by source vertex.
+///
+/// targets[offsets[i] .. offsets[i+1]) are the distinct endpoints reachable
+/// from srcs[i]; they are NOT sorted (the evaluator only needs counts and
+/// further extension, both order-independent and deterministic).
+struct PairSet {
+  std::vector<VertexId> srcs;
+  std::vector<uint64_t> offsets;  // size srcs.size() + 1
+  std::vector<VertexId> targets;
+
+  uint64_t size() const { return targets.size(); }
+  void Clear() {
+    srcs.clear();
+    offsets.clear();
+    targets.clear();
+  }
+};
+
+/// \brief Epoch-based distinct-marking scratch, shared across a whole DFS.
+///
+/// O(1) reset between distinct-set scopes: bumping the epoch invalidates
+/// every previous mark without touching memory.
+class Marker {
+ public:
+  explicit Marker(size_t num_vertices) : epoch_of_(num_vertices, 0) {}
+
+  /// \brief Starts a new distinct-set scope.
+  void NextEpoch() { ++epoch_; }
+
+  /// \brief Returns true the first time `v` is seen in the current scope.
+  bool Mark(VertexId v) {
+    if (epoch_of_[v] == epoch_) return false;
+    epoch_of_[v] = epoch_;
+    return true;
+  }
+
+ private:
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> epoch_of_;
+};
+
+/// \brief Fused leaf counter: computes the distinct-pair counts of ALL
+/// single-label extensions of a parent in one pass.
+///
+/// Children at the deepest DFS level are never extended further, so their
+/// pair sets need not be materialized — only counted. A per-vertex epoch
+/// plus a per-label bitmask provides distinctness for every label
+/// simultaneously. The leaf level holds the vast majority (a fraction
+/// (|L|-1)/|L|) of all nodes, so this pass dominates evaluator cost.
+class LeafCounter {
+ public:
+  LeafCounter(size_t num_vertices, size_t num_labels);
+
+  /// \brief Adds, for each label l, the number of distinct (s, u) pairs of
+  /// parent ⋈ l into counts[l].
+  void CountExtensions(const Graph& graph, const PairSet& parent,
+                       uint64_t* counts);
+
+ private:
+  size_t num_labels_;
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> epoch_of_;
+  std::vector<uint64_t> mask_of_;
+};
+
+/// \brief Builds the level-1 pair set for label `l` directly from the CSR.
+void InitialPairSet(const Graph& graph, LabelId l, PairSet* out);
+
+/// \brief parent ⋈ label -> child: for every (s, t) in parent and t -l-> u,
+/// emit the distinct (s, u). Uses the unchecked CSR view: this loop
+/// dominates the cost of ComputeSelectivities.
+void ExtendPairSet(const Graph& graph, const PairSet& parent, LabelId l,
+                   Marker* marker, PairSet* child);
+
+}  // namespace pathest
+
+#endif  // PATHEST_PATH_PAIR_SET_H_

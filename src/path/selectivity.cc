@@ -1,6 +1,12 @@
 #include "path/selectivity.h"
 
 #include <algorithm>
+#include <mutex>
+#include <utility>
+
+#include "engine/thread_pool.h"
+#include "path/pair_set.h"
+#include "util/timer.h"
 
 namespace pathest {
 
@@ -34,181 +40,45 @@ uint64_t SelectivityMap::CountNonZero() const {
 
 namespace {
 
-// Distinct pair set of one path prefix, grouped by source vertex.
-// targets[offsets[i] .. offsets[i+1]) are the distinct endpoints reachable
-// from srcs[i]; they are NOT sorted (the evaluator only needs counts and
-// further extension, both order-independent and deterministic).
-struct PairSet {
-  std::vector<VertexId> srcs;
-  std::vector<uint64_t> offsets;  // size srcs.size() + 1
-  std::vector<VertexId> targets;
-
-  uint64_t size() const { return targets.size(); }
-  void Clear() {
-    srcs.clear();
-    offsets.clear();
-    targets.clear();
-  }
-};
-
-// Shared scratch for distinct-marking across the whole DFS.
-class Marker {
- public:
-  explicit Marker(size_t num_vertices) : epoch_of_(num_vertices, 0) {}
-
-  // Starts a new distinct-set scope.
-  void NextEpoch() { ++epoch_; }
-
-  // Returns true the first time `v` is seen in the current scope.
-  bool Mark(VertexId v) {
-    if (epoch_of_[v] == epoch_) return false;
-    epoch_of_[v] = epoch_;
-    return true;
-  }
-
- private:
-  uint64_t epoch_ = 0;
-  std::vector<uint64_t> epoch_of_;
-};
-
-// Builds the level-1 pair set for label `l` directly from the CSR.
-void InitialPairSet(const Graph& graph, LabelId l, PairSet* out) {
-  out->Clear();
-  out->offsets.push_back(0);
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    auto nbrs = graph.OutNeighbors(v, l);
-    if (nbrs.empty()) continue;
-    out->srcs.push_back(v);
-    // CSR targets can contain no duplicates (edge set semantics), so the
-    // span is already a distinct target list.
-    out->targets.insert(out->targets.end(), nbrs.begin(), nbrs.end());
-    out->offsets.push_back(out->targets.size());
-  }
-}
-
-// parent ⋈ label -> child: for every (s, t) in parent and t -l-> u, emit the
-// distinct (s, u). Uses the unchecked CSR view: this loop dominates the cost
-// of ComputeSelectivities.
-void ExtendPairSet(const Graph& graph, const PairSet& parent, LabelId l,
-                   Marker* marker, PairSet* child) {
-  child->Clear();
-  child->offsets.push_back(0);
-  const Graph::CsrView adj = graph.ForwardView(l);
-  for (size_t i = 0; i < parent.srcs.size(); ++i) {
-    marker->NextEpoch();
-    const size_t before = child->targets.size();
-    for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
-      const VertexId t = parent.targets[j];
-      for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
-        const VertexId u = adj.targets[e];
-        if (marker->Mark(u)) child->targets.push_back(u);
-      }
-    }
-    if (child->targets.size() > before) {
-      child->srcs.push_back(parent.srcs[i]);
-      child->offsets.push_back(child->targets.size());
-    }
-  }
-}
-
-// Fused leaf counter: computes the distinct-pair counts of ALL single-label
-// extensions of a parent in one pass. Children at the deepest DFS level are
-// never extended further, so their pair sets need not be materialized —
-// only counted. A per-vertex epoch plus a per-label bitmask provides
-// distinctness for every label simultaneously. The leaf level holds the
-// vast majority (a fraction (|L|-1)/|L|) of all nodes, so this pass
-// dominates evaluator cost.
-class LeafCounter {
- public:
-  LeafCounter(size_t num_vertices, size_t num_labels)
-      : num_labels_(num_labels),
-        epoch_of_(num_vertices, 0),
-        mask_of_(num_vertices, 0) {
-    PATHEST_CHECK(num_labels <= 64, "LeafCounter supports <= 64 labels");
-  }
-
-  // Adds, for each label l, the number of distinct (s, u) pairs of
-  // parent ⋈ l into counts[l].
-  void CountExtensions(const Graph& graph, const PairSet& parent,
-                       uint64_t* counts) {
-    const size_t num_labels = num_labels_;
-    std::vector<Graph::CsrView> views;
-    views.reserve(num_labels);
-    for (LabelId l = 0; l < num_labels; ++l) {
-      views.push_back(graph.ForwardView(l));
-    }
-    for (size_t i = 0; i < parent.srcs.size(); ++i) {
-      ++epoch_;
-      for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
-        const VertexId t = parent.targets[j];
-        for (LabelId l = 0; l < num_labels; ++l) {
-          const Graph::CsrView& adj = views[l];
-          const uint64_t mask_bit = 1ULL << l;
-          for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
-            const VertexId u = adj.targets[e];
-            if (epoch_of_[u] != epoch_) {
-              epoch_of_[u] = epoch_;
-              mask_of_[u] = 0;
-            }
-            if ((mask_of_[u] & mask_bit) == 0) {
-              mask_of_[u] |= mask_bit;
-              ++counts[l];
-            }
-          }
-        }
-      }
-    }
-  }
-
- private:
-  size_t num_labels_;
-  uint64_t epoch_ = 0;
-  std::vector<uint64_t> epoch_of_;
-  std::vector<uint64_t> mask_of_;
-};
-
-struct DfsContext {
+struct RootDfs {
   const Graph* graph;
   const SelectivityOptions* options;
   SelectivityMap* map;
-  Marker* marker;
-  LeafCounter* leaf_counter;
-  // One reusable PairSet per depth (1-based level).
-  std::vector<PairSet>* levels;
+  EvalContext* ctx;
   size_t k;
 };
 
 // Recursively evaluates all extensions of `path` (whose pair set is at
-// levels[path.length()]).
-Status DfsExtend(DfsContext* ctx, LabelPath* path) {
+// ctx->levels[path.length()]).
+Status DfsExtend(RootDfs* r, LabelPath* path) {
   const size_t depth = path->length();
-  if (depth == ctx->k) return Status::OK();
-  const PairSet& parent = (*ctx->levels)[depth];
-  if (depth + 1 == ctx->k) {
+  if (depth == r->k) return Status::OK();
+  const PairSet& parent = r->ctx->levels[depth];
+  if (depth + 1 == r->k) {
     // Children are leaves: count all |L| extensions in one fused pass.
-    const size_t num_labels = ctx->graph->num_labels();
+    const size_t num_labels = r->graph->num_labels();
     std::vector<uint64_t> counts(num_labels, 0);
-    ctx->leaf_counter->CountExtensions(*ctx->graph, parent, counts.data());
+    r->ctx->leaf_counter.CountExtensions(*r->graph, parent, counts.data());
     for (LabelId l = 0; l < num_labels; ++l) {
       path->PushBack(l);
-      ctx->map->Set(*path, counts[l]);
+      r->map->Set(*path, counts[l]);
       path->PopBack();
     }
     return Status::OK();
   }
-  for (LabelId l = 0; l < ctx->graph->num_labels(); ++l) {
-    PairSet* child = &(*ctx->levels)[depth + 1];
-    ExtendPairSet(*ctx->graph, parent, l, ctx->marker, child);
+  for (LabelId l = 0; l < r->graph->num_labels(); ++l) {
+    PairSet* child = &r->ctx->levels[depth + 1];
+    ExtendPairSet(*r->graph, parent, l, &r->ctx->marker, child);
     path->PushBack(l);
-    ctx->map->Set(*path, child->size());
-    if (ctx->options->max_pairs_per_prefix != 0 &&
-        child->size() > ctx->options->max_pairs_per_prefix) {
+    r->map->Set(*path, child->size());
+    if (r->options->max_pairs_per_prefix != 0 &&
+        child->size() > r->options->max_pairs_per_prefix) {
       return Status::ResourceExhausted(
           "pair set exceeds max_pairs_per_prefix at path " +
           path->ToIdString());
     }
     if (child->size() > 0) {
-      PATHEST_RETURN_NOT_OK(DfsExtend(ctx, path));
+      PATHEST_RETURN_NOT_OK(DfsExtend(r, path));
     }
     // Empty child: all deeper extensions stay zero (already initialized).
     path->PopBack();
@@ -218,6 +88,33 @@ Status DfsExtend(DfsContext* ctx, LabelPath* path) {
 
 }  // namespace
 
+Status EvaluateRootSubtree(const Graph& graph, EvalContext& ctx, LabelId root,
+                           size_t k, const SelectivityOptions& options,
+                           SelectivityMap* map) {
+  RootDfs r{&graph, &options, map, &ctx, k};
+  InitialPairSet(graph, root, &ctx.levels[1]);
+  LabelPath path{root};
+  map->Set(path, ctx.levels[1].size());
+  if (options.max_pairs_per_prefix != 0 &&
+      ctx.levels[1].size() > options.max_pairs_per_prefix) {
+    return Status::ResourceExhausted(
+        "pair set exceeds max_pairs_per_prefix at path " + path.ToIdString());
+  }
+  if (ctx.levels[1].size() > 0) {
+    PATHEST_RETURN_NOT_OK(DfsExtend(&r, &path));
+  }
+  return Status::OK();
+}
+
+size_t ResolvedNumThreads(const SelectivityOptions& options,
+                          size_t num_labels) {
+  const size_t requested = options.num_threads == 0
+                               ? ThreadPool::DefaultThreads()
+                               : options.num_threads;
+  // Roots are the only unit of fan-out; extra workers would idle.
+  return std::min(requested, num_labels);
+}
+
 Result<SelectivityMap> ComputeSelectivities(const Graph& graph, size_t k,
                                             const SelectivityOptions& options) {
   if (graph.num_labels() == 0) {
@@ -226,28 +123,50 @@ Result<SelectivityMap> ComputeSelectivities(const Graph& graph, size_t k,
   if (k < 1 || k > kMaxPathLength) {
     return Status::InvalidArgument("k out of range [1, kMaxPathLength]");
   }
-  PathSpace space(graph.num_labels(), k);
+  const size_t num_labels = graph.num_labels();
+  PathSpace space(num_labels, k);
   SelectivityMap map(space);
-  Marker marker(graph.num_vertices());
-  LeafCounter leaf_counter(graph.num_vertices(), graph.num_labels());
-  std::vector<PairSet> levels(k + 1);
 
-  DfsContext ctx{&graph, &options, &map, &marker, &leaf_counter, &levels, k};
-  for (LabelId root = 0; root < graph.num_labels(); ++root) {
-    InitialPairSet(graph, root, &levels[1]);
-    LabelPath path{root};
-    map.Set(path, levels[1].size());
-    if (options.max_pairs_per_prefix != 0 &&
-        levels[1].size() > options.max_pairs_per_prefix) {
-      return Status::ResourceExhausted(
-          "pair set exceeds max_pairs_per_prefix at path " +
-          path.ToIdString());
+  const size_t num_threads = ResolvedNumThreads(options, num_labels);
+
+  // Each root records its own status; the lowest-id failure is returned so
+  // the outcome (map on success, status on failure) never depends on thread
+  // count or scheduling.
+  std::vector<Status> root_status(num_labels);
+  std::mutex callback_mu;  // serializes options.progress / options.label_time
+
+  auto run_root = [&](size_t root, EvalContext& ctx) {
+    Timer timer;
+    Status st = EvaluateRootSubtree(graph, ctx, static_cast<LabelId>(root), k,
+                                    options, &map);
+    const double elapsed_ms = timer.ElapsedMillis();
+    root_status[root] = std::move(st);
+    if (options.progress || options.label_time) {
+      std::lock_guard<std::mutex> lock(callback_mu);
+      if (options.label_time) {
+        options.label_time(static_cast<LabelId>(root), elapsed_ms);
+      }
+      if (options.progress) options.progress(static_cast<LabelId>(root));
     }
-    if (levels[1].size() > 0) {
-      Status st = DfsExtend(&ctx, &path);
-      if (!st.ok()) return st;
+  };
+
+  if (num_threads <= 1) {
+    EvalContext ctx(graph.num_vertices(), num_labels, k);
+    for (size_t root = 0; root < num_labels; ++root) run_root(root, ctx);
+  } else {
+    ThreadPool pool(num_threads);
+    std::vector<EvalContext> contexts;
+    contexts.reserve(pool.num_threads());
+    for (size_t w = 0; w < pool.num_threads(); ++w) {
+      contexts.emplace_back(graph.num_vertices(), num_labels, k);
     }
-    if (options.progress) options.progress(root);
+    pool.ParallelFor(num_labels, [&](size_t root, size_t worker) {
+      run_root(root, contexts[worker]);
+    });
+  }
+
+  for (size_t root = 0; root < num_labels; ++root) {
+    if (!root_status[root].ok()) return std::move(root_status[root]);
   }
   return map;
 }

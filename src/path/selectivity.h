@@ -7,6 +7,14 @@
 // it with the per-label adjacency to produce each child. Empty prefixes
 // prune their whole subtree, which is what makes k = 6 tractable on sparse
 // data. Only the <= k pair sets on the current DFS branch are resident.
+//
+// Parallelism: the |L| root-label subtrees are independent — they read the
+// same immutable Graph and write DISJOINT slices of the canonical index
+// space (the root label is the most significant radix digit of the
+// canonical index, so each root's paths of each length form one contiguous
+// run). ComputeSelectivities fans the roots out over an engine ThreadPool
+// with one EvalContext per worker; the result is bit-identical for every
+// num_threads value.
 
 #ifndef PATHEST_PATH_SELECTIVITY_H_
 #define PATHEST_PATH_SELECTIVITY_H_
@@ -15,6 +23,7 @@
 #include <functional>
 #include <vector>
 
+#include "engine/eval_context.h"
 #include "graph/graph.h"
 #include "path/label_path.h"
 #include "path/path_space.h"
@@ -57,18 +66,58 @@ class SelectivityMap {
 struct SelectivityOptions {
   /// Abort with ResourceExhausted when a single prefix's distinct pair set
   /// exceeds this many pairs (0 = unlimited). Guards against dense graphs
-  /// where |R| would approach |V|^2.
+  /// where |R| would approach |V|^2. Every root subtree is still evaluated
+  /// (each aborting at its own first violation), and the error of the
+  /// lowest-id failing root is returned — so the reported status is
+  /// deterministic and independent of num_threads.
   uint64_t max_pairs_per_prefix = 0;
 
+  /// Number of worker threads for the per-root-label fan-out. 1 (default)
+  /// is fully serial and spawns no threads; 0 means one thread per hardware
+  /// core. The computed SelectivityMap is bit-identical for every value:
+  /// each root label's subtree writes a disjoint slice of the map.
+  size_t num_threads = 1;
+
   /// Optional progress callback invoked after each length-1 subtree
-  /// completes (i.e., num_labels times).
+  /// completes (i.e., exactly num_labels times, failing roots included).
+  ///
+  /// Thread-safety guarantee: invocations are serialized behind an internal
+  /// mutex (shared with `label_time`), so the callback may mutate shared
+  /// state without its own locking. With num_threads > 1 the COMPLETION
+  /// ORDER of roots is unspecified; with num_threads == 1 roots complete in
+  /// ascending label order on the calling thread.
   std::function<void(LabelId done_root)> progress;
+
+  /// Optional timing sink: receives each root label's subtree evaluation
+  /// wall time, immediately before `progress` fires for that root.
+  /// Serialized behind the same mutex as `progress`.
+  std::function<void(LabelId root, double millis)> label_time;
 };
+
+/// \brief The worker count ComputeSelectivities actually uses for
+/// `options` on a graph with `num_labels` labels: 0 resolves to hardware
+/// concurrency, then clamps to num_labels (roots are the unit of fan-out).
+size_t ResolvedNumThreads(const SelectivityOptions& options,
+                          size_t num_labels);
 
 /// \brief Computes f(ℓ) for every ℓ in L_k on `graph`.
 Result<SelectivityMap> ComputeSelectivities(
     const Graph& graph, size_t k,
     const SelectivityOptions& options = SelectivityOptions{});
+
+/// \brief Evaluates the subtree of one root label: writes f(ℓ) for every
+/// path ℓ in L_k whose FIRST label is `root` into `map`, leaving all other
+/// entries untouched.
+///
+/// This is the parallel evaluator's unit of work: a pure function of
+/// (graph, ctx, root) whose writes are confined to the root's disjoint
+/// canonical-index slices, making concurrent calls on distinct roots with
+/// distinct contexts race-free. `ctx` must have been built for at least
+/// this graph's vertex/label counts and depth k; its prior contents are
+/// irrelevant. `map` must cover space (graph.num_labels(), k).
+Status EvaluateRootSubtree(const Graph& graph, EvalContext& ctx, LabelId root,
+                           size_t k, const SelectivityOptions& options,
+                           SelectivityMap* map);
 
 /// \brief Evaluates a single path, returning its exact selectivity.
 /// Convenience for spot checks and tests; does not share work across calls.

@@ -1,0 +1,132 @@
+// Tests for the engine layer: ThreadPool/ParallelFor scheduling guarantees
+// and EvalContext scratch reuse.
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/eval_context.h"
+#include "engine/thread_pool.h"
+#include "path/selectivity.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+using testing_util::SmallGraph;
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (size_t num_threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool pool(num_threads);
+    ASSERT_EQ(pool.num_threads(), num_threads);
+    constexpr size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelFor(kN, [&](size_t i, size_t worker) {
+      ASSERT_LT(i, kN);
+      ASSERT_LT(worker, pool.num_threads());
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndSingleItemJobs) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // A 1-item job runs inline on the caller (worker 0).
+  pool.ParallelFor(1, [&](size_t i, size_t worker) {
+    EXPECT_EQ(i, 0u);
+    EXPECT_EQ(worker, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInOrderOnCaller) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  pool.ParallelFor(10, [&](size_t i, size_t worker) {
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);
+  });
+  ASSERT_EQ(order.size(), 10u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> sum{0};
+    const size_t n = 1 + static_cast<size_t>(round % 7);
+    pool.ParallelFor(n, [&](size_t i, size_t) {
+      sum.fetch_add(i + 1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), n * (n + 1) / 2) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWork) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(2);
+  pool.ParallelFor(2, [&](size_t i, size_t) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreads(), 1u);
+  ThreadPool pool(0);  // 0 = DefaultThreads
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreads());
+}
+
+TEST(EvalContextTest, RootSubtreeIsPureAndContextReusable) {
+  Graph g = SmallGraph();
+  const size_t k = 3;
+  PathSpace space(g.num_labels(), k);
+  SelectivityOptions options;
+
+  // Evaluate every root twice through ONE context; a full fresh evaluation
+  // must agree, proving prior scratch contents don't leak into results.
+  EvalContext ctx(g.num_vertices(), g.num_labels(), k);
+  SelectivityMap first(space);
+  SelectivityMap second(space);
+  for (LabelId root = 0; root < g.num_labels(); ++root) {
+    ASSERT_TRUE(EvaluateRootSubtree(g, ctx, root, k, options, &first).ok());
+  }
+  for (LabelId root = g.num_labels(); root-- > 0;) {  // reverse order
+    ASSERT_TRUE(EvaluateRootSubtree(g, ctx, root, k, options, &second).ok());
+  }
+  EXPECT_EQ(first.values(), second.values());
+
+  auto reference = ComputeSelectivities(g, k);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(first.values(), reference->values());
+}
+
+TEST(EvalContextTest, RootSubtreeWritesOnlyItsSlice) {
+  Graph g = SmallGraph();
+  const size_t k = 3;
+  PathSpace space(g.num_labels(), k);
+  EvalContext ctx(g.num_vertices(), g.num_labels(), k);
+  SelectivityOptions options;
+
+  const LabelId root = 1;
+  SelectivityMap map(space);
+  ASSERT_TRUE(EvaluateRootSubtree(g, ctx, root, k, options, &map).ok());
+  space.ForEach([&](const LabelPath& p) {
+    if (p.label(0) != root) {
+      EXPECT_EQ(map.Get(p), 0u) << "foreign-slice write at " << p.ToIdString();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace pathest
