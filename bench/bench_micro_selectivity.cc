@@ -1,18 +1,39 @@
 // Microbenchmark M2 (google-benchmark): throughput of the exact selectivity
 // evaluator and of histogram construction, the two build-time costs of the
 // pipeline.
+//
+// The selectivity rows take {k, threads, kernel} (kernel: 0 = auto,
+// 1 = sparse, 2 = dense). The threads=1/kernel=sparse rows are the scalar
+// baseline; every other row's map is asserted bit-identical to it.
+//
+// --json[=path] switches to a machine-readable sweep instead of the
+// google-benchmark console: it times ComputeSelectivities for every
+// (dataset, threads, kernel) cell — best wall time of PATHEST_REPS runs —
+// and writes one JSON array to `path` (default BENCH_selectivity.json),
+// one object per cell: {"dataset", "k", "threads", "kernel", "build_ms"}.
+// The er-dense dataset is an Erdős–Rényi configuration dense enough that
+// the dense bitmap kernel should win by an integer factor; the printed
+// summary reports the dense-vs-sparse speedup and how close auto tracks
+// the better kernel. Scale knobs: PATHEST_SCALE, PATHEST_REPS, PATHEST_K.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/distribution.h"
 #include "gen/datasets.h"
+#include "gen/generator.h"
+#include "gen/label_assigner.h"
 #include "histogram/builders.h"
 #include "ordering/factory.h"
 #include "path/selectivity.h"
 #include "util/status.h"
+#include "util/timer.h"
 
 namespace pathest {
 namespace {
@@ -26,39 +47,47 @@ const Graph& BenchGraph() {
   return *graph;
 }
 
-// Args: {k, num_threads}. The threads=1 rows are the serial baseline; the
-// speedup claim of the parallel engine is threads=N row vs threads=1 row at
-// equal k. Every row's map is asserted bit-identical to the serial one.
+// Args: {k, num_threads, kernel}. The threads=1/kernel=sparse rows are the
+// scalar baseline; the parallel-engine speedup is threads=N vs threads=1 at
+// equal k, and the kernel speedup is kernel=dense/auto vs kernel=sparse at
+// threads=1. Every row's map is asserted bit-identical to the baseline.
 void BM_ComputeSelectivities(benchmark::State& state) {
   const size_t k = static_cast<size_t>(state.range(0));
   const size_t threads = static_cast<size_t>(state.range(1));
+  const PairKernel kernel = static_cast<PairKernel>(state.range(2));
   SelectivityOptions options;
   options.num_threads = threads;
-  static std::map<size_t, std::vector<uint64_t>>* serial_maps =
+  options.kernel = kernel;
+  static std::map<size_t, std::vector<uint64_t>>* baseline_maps =
       new std::map<size_t, std::vector<uint64_t>>();
   for (auto _ : state) {
     auto map = ComputeSelectivities(BenchGraph(), k, options);
     PATHEST_CHECK(map.ok(), "selectivity failed");
     benchmark::DoNotOptimize(map->Total());
-    if (threads == 1) {
-      (*serial_maps)[k] = map->values();
-    } else if (auto it = serial_maps->find(k); it != serial_maps->end()) {
+    if (threads == 1 && kernel == PairKernel::kSparse) {
+      (*baseline_maps)[k] = map->values();
+    } else if (auto it = baseline_maps->find(k); it != baseline_maps->end()) {
       PATHEST_CHECK(it->second == map->values(),
-                    "parallel map differs from serial baseline");
+                    "map differs from the sparse serial baseline");
     }
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(PathSpace(6, k).size()));
 }
 BENCHMARK(BM_ComputeSelectivities)
-    ->Args({2, 1})
-    ->Args({3, 1})
-    ->Args({4, 1})
-    ->Args({4, 2})
-    ->Args({4, 4})
-    ->Args({5, 1})
-    ->Args({5, 2})
-    ->Args({5, 4})
+    ->ArgNames({"k", "threads", "kernel"})
+    ->Args({2, 1, 1})
+    ->Args({3, 1, 1})
+    ->Args({4, 1, 1})  // sparse baselines first: later rows check against them
+    ->Args({4, 1, 2})
+    ->Args({4, 1, 0})
+    ->Args({4, 2, 0})
+    ->Args({4, 4, 0})
+    ->Args({5, 1, 1})
+    ->Args({5, 1, 2})
+    ->Args({5, 1, 0})
+    ->Args({5, 2, 0})
+    ->Args({5, 4, 0})
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
@@ -105,12 +134,153 @@ void RegisterHistogramBenches() {
   }
 }
 
+// ------------------------------------------------------------- --json mode
+
+// An Erdős–Rényi configuration dense enough that penultimate-level cells
+// run ~30 candidate emissions per bitmap word — the dense kernel's home
+// turf. Density per word FALLS as |V| grows at fixed degree (cells stay
+// ~deg² emissions while the scan is |V|/64 words), so a compact graph is
+// the dense showcase; override with PATHEST_ER_V / PATHEST_ER_DEG to map
+// the crossover (dense ≈ sparse near |V|=8000 at degree 30).
+Graph BuildDenseErGraph(double scale) {
+  ErdosRenyiParams params;
+  params.num_vertices = std::max<size_t>(
+      60, static_cast<size_t>(
+              static_cast<double>(bench::SizeFromEnv("PATHEST_ER_V", 2000)) *
+              scale));
+  params.num_edges =
+      params.num_vertices * bench::SizeFromEnv("PATHEST_ER_DEG", 30);
+  params.seed = 42;
+  UniformLabelAssigner labels(3);
+  auto g = GenerateErdosRenyi(params, &labels);
+  bench::DieIf(g.status(), "er-dense generation");
+  return std::move(g).ValueOrDie();
+}
+
+struct JsonRow {
+  std::string dataset;
+  size_t k;
+  size_t threads;
+  PairKernel kernel;
+  double build_ms;
+};
+
+int RunJsonMode(const std::string& out_path) {
+  const double scale = ScaleFromEnv();
+  const size_t reps = bench::SizeFromEnv("PATHEST_REPS", 3);
+
+  struct Config {
+    std::string name;
+    Graph graph;
+    size_t k;
+  };
+  std::vector<Config> configs;
+  configs.push_back({"er-dense", BuildDenseErGraph(scale), 3});
+  {
+    auto moreno = BuildDataset(DatasetId::kMorenoHealth, 0.25 * scale, 42);
+    bench::DieIf(moreno.status(), "moreno generation");
+    configs.push_back({"moreno", std::move(moreno).ValueOrDie(),
+                       bench::SizeFromEnv("PATHEST_K", 4)});
+  }
+
+  constexpr PairKernel kKernels[] = {PairKernel::kSparse, PairKernel::kDense,
+                                     PairKernel::kAuto};
+  std::vector<JsonRow> rows;
+  for (const Config& config : configs) {
+    std::printf("%s: |V|=%zu |E|=%zu |L|=%zu k=%zu\n", config.name.c_str(),
+                config.graph.num_vertices(), config.graph.num_edges(),
+                config.graph.num_labels(), config.k);
+    // threads=1 always; the hardware-resolved count too when it differs.
+    std::vector<size_t> thread_counts{1};
+    SelectivityOptions hw;
+    hw.num_threads = 0;
+    const size_t resolved =
+        ResolvedNumThreads(hw, config.graph.num_labels());
+    if (resolved > 1) thread_counts.push_back(resolved);
+
+    std::vector<uint64_t> baseline_values;
+    for (size_t threads : thread_counts) {
+      double ms_by_kernel[3] = {0, 0, 0};
+      for (PairKernel kernel : kKernels) {
+        SelectivityOptions options;
+        options.num_threads = threads;
+        options.kernel = kernel;
+        double best_ms = 0.0;
+        for (size_t rep = 0; rep < reps; ++rep) {
+          Timer timer;
+          auto map = ComputeSelectivities(config.graph, config.k, options);
+          const double ms = timer.ElapsedMillis();
+          bench::DieIf(map.status(), "selectivity computation");
+          if (rep == 0 || ms < best_ms) best_ms = ms;
+          if (baseline_values.empty()) {
+            baseline_values = map->values();
+          } else {
+            PATHEST_CHECK(map->values() == baseline_values,
+                          "map differs across kernels/threads");
+          }
+        }
+        rows.push_back({config.name, config.k, threads, kernel, best_ms});
+        ms_by_kernel[static_cast<size_t>(kernel)] = best_ms;
+        std::printf("  threads=%zu kernel=%-6s build_ms=%.3f\n", threads,
+                    PairKernelName(kernel), best_ms);
+      }
+      const double sparse_ms = ms_by_kernel[1];
+      const double dense_ms = ms_by_kernel[2];
+      const double auto_ms = ms_by_kernel[0];
+      const double best = std::min(sparse_ms, dense_ms);
+      if (dense_ms > 0 && best > 0) {
+        std::printf(
+            "  threads=%zu summary: dense %.2fx vs sparse, auto/best %.2f\n",
+            threads, sparse_ms / dense_ms, auto_ms / best);
+      }
+    }
+  }
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const JsonRow& r = rows[i];
+    std::fprintf(out,
+                 "  {\"dataset\": \"%s\", \"k\": %zu, \"threads\": %zu, "
+                 "\"kernel\": \"%s\", \"build_ms\": %.3f}%s\n",
+                 r.dataset.c_str(), r.k, r.threads, PairKernelName(r.kernel),
+                 r.build_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %zu rows to %s\n", rows.size(), out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace pathest
 
 int main(int argc, char** argv) {
+  // Peel off --json[=path] before google-benchmark sees the argv.
+  bool json_mode = false;
+  std::string json_path = "BENCH_selectivity.json";
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_mode = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_mode = true;
+      json_path = arg.substr(7);
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  if (json_mode) return pathest::RunJsonMode(json_path);
+
+  int kept_argc = static_cast<int>(kept.size());
   pathest::RegisterHistogramBenches();
-  benchmark::Initialize(&argc, argv);
+  benchmark::Initialize(&kept_argc, kept.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -4,7 +4,7 @@
 // integrating the library.
 //
 // Usage:
-//   pathest_cli [--threads N] <command> ...
+//   pathest_cli [--threads N] [--kernel auto|sparse|dense] <command> ...
 //   pathest_cli generate <dataset> <out.graph> [scale] [seed]
 //   pathest_cli stats <graph-file>
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
@@ -14,7 +14,9 @@
 //
 // --threads N controls the parallel selectivity engine (the dominant cost
 // of analyze/accuracy): N worker threads, 0 = one per hardware core (the
-// default). Results are bit-identical for every N.
+// default). --kernel forces the pair-set extension kernel (default: auto,
+// a per-group cost-based choice). Results are bit-identical for every
+// thread count and kernel; both flags only change speed.
 //
 // Runs with no arguments as a self-demo (generates a small moreno-like
 // graph, analyzes it, estimates a few queries) so that it is exercised by
@@ -42,9 +44,13 @@ namespace {
 // hardware core). Shared by every subcommand that computes ground truth.
 size_t g_num_threads = 0;
 
+// Extension-kernel override; set by --kernel (auto = per-group choice).
+PairKernel g_kernel = PairKernel::kAuto;
+
 SelectivityOptions CliSelectivityOptions() {
   SelectivityOptions options;
   options.num_threads = g_num_threads;
+  options.kernel = g_kernel;
   return options;
 }
 
@@ -57,7 +63,7 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  pathest_cli [--threads N] <command> ...\n"
+      "  pathest_cli [--threads N] [--kernel K] <command> ...\n"
       "  pathest_cli generate <dataset> <out.graph> [scale] [seed]\n"
       "  pathest_cli stats <graph-file>\n"
       "  pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>\n"
@@ -66,7 +72,9 @@ int Usage() {
       "  pathest_cli orderings\n"
       "datasets: moreno dbpedia snap-er snap-ff\n"
       "--threads N: selectivity worker threads (0 = hardware cores, "
-      "default)\n");
+      "default)\n"
+      "--kernel K: pair-set extension kernel, auto|sparse|dense "
+      "(auto = per-group cost-based choice, default)\n");
   return 2;
 }
 
@@ -199,17 +207,27 @@ int SelfDemo() {
 
 int main(int argc, char** argv) {
   std::vector<std::string> all(argv + 1, argv + argc);
-  // Strip the global --threads flag (either "--threads N" or "--threads=N")
-  // wherever it appears.
+  // Strip the global flags ("--flag value" or "--flag=value") wherever they
+  // appear.
   std::vector<std::string> rest;
+  std::string kernel_name;
   for (size_t i = 0; i < all.size(); ++i) {
     if (all[i] == "--threads" && i + 1 < all.size()) {
       g_num_threads = std::strtoull(all[++i].c_str(), nullptr, 10);
     } else if (all[i].rfind("--threads=", 0) == 0) {
       g_num_threads = std::strtoull(all[i].c_str() + 10, nullptr, 10);
+    } else if (all[i] == "--kernel" && i + 1 < all.size()) {
+      kernel_name = all[++i];
+    } else if (all[i].rfind("--kernel=", 0) == 0) {
+      kernel_name = all[i].substr(9);
     } else {
       rest.push_back(all[i]);
     }
+  }
+  if (!kernel_name.empty()) {
+    auto kernel = ParsePairKernel(kernel_name);
+    if (!kernel.ok()) return Fail(kernel.status());
+    g_kernel = *kernel;
   }
   if (rest.empty()) return SelfDemo();
   std::string cmd = rest[0];

@@ -25,8 +25,9 @@ Result<SelectivityBuildResult> MeasureSelectivityBuild(
   auto map = ComputeSelectivities(graph, k, options);
   const double wall_ms = timer.ElapsedMillis();
   if (!map.ok()) return map.status();
-  return SelectivityBuildResult{k, num_threads, wall_ms,
-                                std::move(per_label_ms), std::move(*map)};
+  return SelectivityBuildResult{k,       num_threads,           options.kernel,
+                                wall_ms, std::move(per_label_ms),
+                                std::move(*map)};
 }
 
 ReportTable SelectivityBuildReport(const Graph& graph,
@@ -42,7 +43,8 @@ ReportTable SelectivityBuildReport(const Graph& graph,
                   FormatDouble(ms, 4), FormatDouble(share, 3)});
   }
   table.AddRow({"total(wall, " + std::to_string(result.num_threads) +
-                    " thread" + (result.num_threads == 1 ? "" : "s") + ")",
+                    " thread" + (result.num_threads == 1 ? "" : "s") + ", " +
+                    PairKernelName(result.kernel) + " kernel)",
                 std::to_string(graph.num_edges()),
                 FormatDouble(result.wall_ms, 4), "100"});
   return table;

@@ -27,6 +27,9 @@ struct SelectivityBuildResult {
   /// Worker threads the engine actually used (ResolvedNumThreads: 0 ->
   /// hardware concurrency, then clamped to the graph's label count).
   size_t num_threads = 1;
+  /// Extension-kernel mode the build ran under (auto/sparse/dense). The
+  /// map is identical across modes; this records what was measured.
+  PairKernel kernel = PairKernel::kAuto;
   /// End-to-end wall time of ComputeSelectivities, milliseconds.
   double wall_ms = 0.0;
   /// Per-root-label subtree evaluation time, indexed by LabelId. Under

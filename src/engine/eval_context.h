@@ -15,9 +15,11 @@
 #define PATHEST_ENGINE_EVAL_CONTEXT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "path/pair_set.h"
+#include "util/bitset.h"
 
 namespace pathest {
 
@@ -26,17 +28,33 @@ namespace pathest {
 /// Reusable across any number of sequential evaluations on graphs with at
 /// most `num_vertices` vertices / `num_labels` labels and DFS depth at most
 /// `k`; results are independent of prior use (every structure is
-/// epoch-reset or cleared at the start of each scope).
+/// epoch-reset, cleared, or rebound at the start of each scope). Everything
+/// a subtree evaluation touches is pre-allocated here, so the DFS — and in
+/// particular the penultimate-level leaf pass, the hottest loop — performs
+/// no allocation at all.
 struct EvalContext {
   EvalContext(size_t num_vertices, size_t num_labels, size_t k)
       : marker(num_vertices),
         leaf_counter(num_vertices, num_labels),
-        levels(k + 1) {}
+        extend_bits(num_vertices),
+        levels(k + 1),
+        fwd_views(num_labels),
+        leaf_counts(num_labels, 0) {}
 
   Marker marker;
   LeafCounter leaf_counter;
+  /// Dense-kernel accumulator for ExtendPairSet; all-zero between uses
+  /// (the kernel's drain restores that invariant).
+  DynamicBitset extend_bits;
   /// One reusable PairSet per DFS depth (1-based level); levels[0] unused.
   std::vector<PairSet> levels;
+  /// Hoisted per-label ForwardViews, rebound once per root subtree by
+  /// EvaluateRootSubtree — the leaf pass reads them instead of calling
+  /// Graph::ForwardView once per (node, label).
+  std::vector<Graph::CsrView> fwd_views;
+  /// Per-label counts buffer of the fused leaf pass (one entry per label),
+  /// zero-filled by the DFS before each use.
+  std::vector<uint64_t> leaf_counts;
 };
 
 }  // namespace pathest

@@ -1,0 +1,18 @@
+#include "engine/schedule.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pathest {
+
+std::vector<size_t> HeaviestFirstOrder(const std::vector<uint64_t>& weights) {
+  std::vector<size_t> order(weights.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  // stable_sort keeps equal-weight indices in ascending order.
+  std::stable_sort(order.begin(), order.end(), [&weights](size_t a, size_t b) {
+    return weights[a] > weights[b];
+  });
+  return order;
+}
+
+}  // namespace pathest

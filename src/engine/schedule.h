@@ -1,0 +1,28 @@
+// pathest: deterministic work-ordering helpers for the engine's ParallelFor.
+//
+// ParallelFor hands indices to workers one at a time, in the order the
+// caller presents them. For jobs whose items have wildly uneven costs (the
+// selectivity evaluator's root subtrees under skewed label cardinalities),
+// presentation order decides the tail: if the single most expensive item is
+// picked up last, the whole job waits on it alone while every other worker
+// idles. Scheduling heaviest-first bounds that tail — the expensive items
+// start immediately and the cheap ones backfill the gaps.
+
+#ifndef PATHEST_ENGINE_SCHEDULE_H_
+#define PATHEST_ENGINE_SCHEDULE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathest {
+
+/// \brief Returns the permutation of [0, weights.size()) that orders
+/// indices by descending weight, ties broken by ascending index — so the
+/// result is deterministic in `weights` alone. Feed ParallelFor the
+/// permuted indices (`task(order[i])`) to run heaviest-first.
+std::vector<size_t> HeaviestFirstOrder(const std::vector<uint64_t>& weights);
+
+}  // namespace pathest
+
+#endif  // PATHEST_ENGINE_SCHEDULE_H_

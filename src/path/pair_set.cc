@@ -2,39 +2,90 @@
 
 namespace pathest {
 
-LeafCounter::LeafCounter(size_t num_vertices, size_t num_labels)
-    : num_labels_(num_labels),
-      epoch_of_(num_vertices, 0),
-      mask_of_(num_vertices, 0) {
-  PATHEST_CHECK(num_labels <= 64, "LeafCounter supports <= 64 labels");
+const char* PairKernelName(PairKernel kernel) {
+  switch (kernel) {
+    case PairKernel::kSparse:
+      return "sparse";
+    case PairKernel::kDense:
+      return "dense";
+    case PairKernel::kAuto:
+    default:
+      return "auto";
+  }
 }
 
-void LeafCounter::CountExtensions(const Graph& graph, const PairSet& parent,
-                                  uint64_t* counts) {
-  const size_t num_labels = num_labels_;
-  std::vector<Graph::CsrView> views;
-  views.reserve(num_labels);
-  for (LabelId l = 0; l < num_labels; ++l) {
-    views.push_back(graph.ForwardView(l));
+Result<PairKernel> ParsePairKernel(const std::string& name) {
+  if (name == "auto") return PairKernel::kAuto;
+  if (name == "sparse") return PairKernel::kSparse;
+  if (name == "dense") return PairKernel::kDense;
+  return Status::InvalidArgument("unknown kernel '" + name +
+                                 "' (expected auto|sparse|dense)");
+}
+
+namespace {
+
+// Effective per-label group-size threshold for one evaluation: forced
+// kernels degenerate to the all/none sentinels, kAuto to the graph-derived
+// density bound. Every kernel decision is then one integer compare.
+inline uint64_t EffectiveThreshold(PairKernel kernel, uint64_t label_cardinality,
+                                   size_t num_vertices, size_t num_words) {
+  switch (kernel) {
+    case PairKernel::kSparse:
+      return UINT64_MAX;
+    case PairKernel::kDense:
+      return 0;
+    case PairKernel::kAuto:
+    default:
+      return DenseGroupThreshold(label_cardinality, num_vertices, num_words);
   }
+}
+
+}  // namespace
+
+LeafCounter::LeafCounter(size_t num_vertices, size_t num_labels)
+    : num_labels_(num_labels),
+      marker_(num_vertices),
+      bits_(num_vertices),
+      dense_threshold_(num_labels, 0) {}
+
+void LeafCounter::CountExtensions(const Graph::CsrView* views,
+                                  size_t num_vertices, size_t num_labels,
+                                  const PairSet& parent, PairKernel kernel,
+                                  uint64_t* counts) {
+  PATHEST_CHECK(num_vertices <= bits_.num_bits() && num_labels <= num_labels_,
+                "graph exceeds LeafCounter capacity");
+  // Scan cost is what the bitset actually walks — its full capacity, which
+  // may exceed this graph's vertex count under EvalContext reuse.
+  const size_t num_words = bits_.num_words();
+  for (LabelId l = 0; l < num_labels; ++l) {
+    dense_threshold_[l] = EffectiveThreshold(
+        kernel, views[l].offsets[num_vertices], num_vertices, num_words);
+  }
+  const VertexId* targets = parent.targets.data();
   for (size_t i = 0; i < parent.srcs.size(); ++i) {
-    ++epoch_;
-    for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
-      const VertexId t = parent.targets[j];
-      for (LabelId l = 0; l < num_labels; ++l) {
-        const Graph::CsrView& adj = views[l];
-        const uint64_t mask_bit = 1ULL << l;
-        for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
-          const VertexId u = adj.targets[e];
-          if (epoch_of_[u] != epoch_) {
-            epoch_of_[u] = epoch_;
-            mask_of_[u] = 0;
-          }
-          if ((mask_of_[u] & mask_bit) == 0) {
-            mask_of_[u] |= mask_bit;
-            ++counts[l];
+    const uint64_t begin = parent.offsets[i];
+    const uint64_t end = parent.offsets[i + 1];
+    const uint64_t group_size = end - begin;
+    for (LabelId l = 0; l < num_labels; ++l) {
+      const Graph::CsrView& adj = views[l];
+      if (group_size >= dense_threshold_[l]) {
+        for (uint64_t j = begin; j < end; ++j) {
+          const VertexId t = targets[j];
+          for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+            bits_.SetBitBlind(adj.targets[e]);
           }
         }
+        counts[l] += bits_.CountAndClear();
+      } else {
+        marker_.NextEpoch();
+        uint64_t distinct = 0;
+        for (uint64_t j = begin; j < end; ++j) {
+          const VertexId t = targets[j];
+          for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+            distinct += marker_.Mark(adj.targets[e]);
+          }
+        }
+        counts[l] += distinct;
       }
     }
   }
@@ -43,30 +94,53 @@ void LeafCounter::CountExtensions(const Graph& graph, const PairSet& parent,
 void InitialPairSet(const Graph& graph, LabelId l, PairSet* out) {
   out->Clear();
   out->offsets.push_back(0);
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
-    auto nbrs = graph.OutNeighbors(v, l);
-    if (nbrs.empty()) continue;
+  const Graph::CsrView adj = graph.ForwardView(l);
+  const size_t num_vertices = graph.num_vertices();
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const uint64_t begin = adj.offsets[v];
+    const uint64_t end = adj.offsets[v + 1];
+    if (begin == end) continue;
     out->srcs.push_back(v);
     // CSR targets can contain no duplicates (edge set semantics), so the
-    // span is already a distinct target list.
-    out->targets.insert(out->targets.end(), nbrs.begin(), nbrs.end());
+    // row is already a distinct target list.
+    out->targets.insert(out->targets.end(), adj.targets + begin,
+                        adj.targets + end);
     out->offsets.push_back(out->targets.size());
   }
 }
 
 void ExtendPairSet(const Graph& graph, const PairSet& parent, LabelId l,
-                   Marker* marker, PairSet* child) {
+                   Marker* marker, DynamicBitset* bits, PairKernel kernel,
+                   PairSet* child) {
   child->Clear();
   child->offsets.push_back(0);
   const Graph::CsrView adj = graph.ForwardView(l);
+  const size_t num_vertices = graph.num_vertices();
+  const uint64_t dense_threshold = EffectiveThreshold(
+      kernel, adj.offsets[num_vertices], num_vertices, bits->num_words());
+  const VertexId* targets = parent.targets.data();
   for (size_t i = 0; i < parent.srcs.size(); ++i) {
-    marker->NextEpoch();
+    const uint64_t begin = parent.offsets[i];
+    const uint64_t end = parent.offsets[i + 1];
     const size_t before = child->targets.size();
-    for (uint64_t j = parent.offsets[i]; j < parent.offsets[i + 1]; ++j) {
-      const VertexId t = parent.targets[j];
-      for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
-        const VertexId u = adj.targets[e];
-        if (marker->Mark(u)) child->targets.push_back(u);
+    if (end - begin >= dense_threshold) {
+      for (uint64_t j = begin; j < end; ++j) {
+        const VertexId t = targets[j];
+        for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+          bits->SetBitBlind(adj.targets[e]);
+        }
+      }
+      bits->ExtractAndClear([child](size_t u) {
+        child->targets.push_back(static_cast<VertexId>(u));
+      });
+    } else {
+      marker->NextEpoch();
+      for (uint64_t j = begin; j < end; ++j) {
+        const VertexId t = targets[j];
+        for (uint64_t e = adj.offsets[t]; e < adj.offsets[t + 1]; ++e) {
+          const VertexId u = adj.targets[e];
+          if (marker->Mark(u)) child->targets.push_back(u);
+        }
       }
     }
     if (child->targets.size() > before) {

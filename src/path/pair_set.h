@@ -1,27 +1,96 @@
 // pathest: the evaluator's scratch data structures — distinct pair sets and
-// the epoch markers that deduplicate them.
+// the adaptive kernels that extend them.
 //
 // These types used to live inside selectivity.cc; they are exposed here so
 // the engine layer (engine/eval_context.h) can own one instance of each per
 // worker thread. They are scratch, not values: every structure is reusable
 // across evaluations and none is thread-safe on its own — parallel callers
 // get isolation by owning disjoint instances, one per worker.
+//
+// Kernels. Both extension passes (ExtendPairSet, LeafCounter) deduplicate
+// the successors of one source group, and do so with one of two kernels
+// chosen per (group, label) cell:
+//   * sparse — the epoch-marker loop: each candidate successor probes a
+//     per-vertex epoch word; first-seen vertices are emitted in discovery
+//     order. Cost ~ O(emissions) with a branchy random 8-byte access each.
+//   * dense  — the bitmap loop: candidates are blindly OR-ed into a
+//     DynamicBitset (1 bit/vertex, branch-free), then drained by an
+//     ascending word scan (ExtractAndClear / CountAndClear). Cost ~
+//     O(emissions + |V|/64), with far better cache behavior per emission.
+// kAuto picks dense exactly when the cell's expected emission count covers
+// the word-scan term (see DenseGroupThreshold below). The choice depends
+// only on the graph and the prefix's pair set — never on threads or prior
+// scratch state — and both kernels produce the same distinct sets, so the
+// computed SelectivityMap is bit-identical across kernels (test-enforced by
+// tests/kernel_selectivity_test.cc).
 
 #ifndef PATHEST_PATH_PAIR_SET_H_
 #define PATHEST_PATH_PAIR_SET_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/bitset.h"
 
 namespace pathest {
+
+/// \brief Extension-kernel selection for the pair-set joins.
+enum class PairKernel : uint8_t {
+  kAuto = 0,    ///< per-(group, label) cost-based choice (the default)
+  kSparse = 1,  ///< force the epoch-marker kernel everywhere
+  kDense = 2,   ///< force the bitmap kernel everywhere
+};
+
+/// \brief Stable lowercase name ("auto" / "sparse" / "dense").
+const char* PairKernelName(PairKernel kernel);
+
+/// \brief Inverse of PairKernelName; InvalidArgument on unknown names.
+Result<PairKernel> ParsePairKernel(const std::string& name);
+
+/// \brief Margin of the adaptive density test: the dense kernel must expect
+/// this many candidate emissions per bitmap word before it is chosen. At 1
+/// the word scan merely breaks even against the emission loop; requiring a
+/// multiple keeps borderline cells — where the bitmap's per-emission edge
+/// is smallest — on the sparse kernel (measured via bench_micro_selectivity
+/// --json: small margins made auto lag the sparse kernel on skewed-label
+/// graphs by ~15%).
+inline constexpr uint64_t kDenseEmissionsPerWord = 4;
+
+/// \brief The adaptive density test, precomputed per label: the smallest
+/// source-group size for which the dense kernel is expected to win.
+///
+/// A cell's candidate emission count is estimated in O(1) as
+///   group_size × mean out-degree of the label (cardinality / |V|),
+/// i.e. the exact sum of candidate emissions is replaced by its
+/// expectation — walking the group to add up true degrees costs about as
+/// much as the sparse kernel itself on low-degree graphs, which is
+/// exactly where the estimate must be cheap. The dense kernel is chosen
+/// when that expectation covers scanning the whole bitmap (one word per
+/// 64 vertices) kDenseEmissionsPerWord times over:
+///   group_size × card / |V| >= margin × num_words
+/// Returns the group-size threshold (never 0; ~0 cardinality labels never
+/// go dense — they have next to no emissions to amortize a scan with).
+/// Deterministic in the graph alone, so kernel choice can never depend on
+/// scheduling.
+inline uint64_t DenseGroupThreshold(uint64_t label_cardinality,
+                                    size_t num_vertices, size_t num_words) {
+  if (label_cardinality == 0) return UINT64_MAX;
+  const uint64_t cost = kDenseEmissionsPerWord *
+                        static_cast<uint64_t>(num_words) *
+                        static_cast<uint64_t>(num_vertices);
+  const uint64_t threshold =
+      (cost + label_cardinality - 1) / label_cardinality;
+  return threshold == 0 ? 1 : threshold;
+}
 
 /// \brief Distinct pair set of one path prefix, grouped by source vertex.
 ///
 /// targets[offsets[i] .. offsets[i+1]) are the distinct endpoints reachable
-/// from srcs[i]; they are NOT sorted (the evaluator only needs counts and
-/// further extension, both order-independent and deterministic).
+/// from srcs[i]; their order is NOT specified (the dense kernel emits
+/// ascending, the sparse kernel in discovery order — the evaluator only
+/// needs counts and further extension, both order-independent).
 struct PairSet {
   std::vector<VertexId> srcs;
   std::vector<uint64_t> offsets;  // size srcs.size() + 1
@@ -59,37 +128,55 @@ class Marker {
 };
 
 /// \brief Fused leaf counter: computes the distinct-pair counts of ALL
-/// single-label extensions of a parent in one pass.
+/// single-label extensions of a parent in one pass over its groups.
 ///
 /// Children at the deepest DFS level are never extended further, so their
-/// pair sets need not be materialized — only counted. A per-vertex epoch
-/// plus a per-label bitmask provides distinctness for every label
-/// simultaneously. The leaf level holds the vast majority (a fraction
-/// (|L|-1)/|L|) of all nodes, so this pass dominates evaluator cost.
+/// pair sets need not be materialized — only counted. Each (group, label)
+/// cell runs the sparse or dense kernel independently (labels differ wildly
+/// in density under skewed label assignment, so per-label choice beats a
+/// per-group one). The leaf level holds the vast majority (a fraction
+/// (|L|-1)/|L|) of all path-tree nodes, so this pass dominates evaluator
+/// cost. Any label count is supported — the former 64-label ceiling of the
+/// per-vertex bitmask implementation is gone.
 class LeafCounter {
  public:
   LeafCounter(size_t num_vertices, size_t num_labels);
 
   /// \brief Adds, for each label l, the number of distinct (s, u) pairs of
   /// parent ⋈ l into counts[l].
-  void CountExtensions(const Graph& graph, const PairSet& parent,
-                       uint64_t* counts);
+  ///
+  /// `views` must hold one Graph::ForwardView per label — hoisted by the
+  /// caller (see EvalContext::fwd_views) so this pass allocates nothing.
+  /// `num_vertices`/`num_labels` are the CURRENT graph's counts; they may
+  /// be smaller than the capacities this counter was constructed with (the
+  /// EvalContext reuse contract), and bound which views are read and how
+  /// mean degrees are computed.
+  void CountExtensions(const Graph::CsrView* views, size_t num_vertices,
+                       size_t num_labels, const PairSet& parent,
+                       PairKernel kernel, uint64_t* counts);
 
  private:
   size_t num_labels_;
-  uint64_t epoch_ = 0;
-  std::vector<uint64_t> epoch_of_;
-  std::vector<uint64_t> mask_of_;
+  Marker marker_;       // sparse-kernel scratch
+  DynamicBitset bits_;  // dense-kernel scratch; all-zero between cells
+  // Per-label group-size thresholds (DenseGroupThreshold), refreshed at the
+  // top of each CountExtensions call — member scratch, not allocation.
+  std::vector<uint64_t> dense_threshold_;
 };
 
-/// \brief Builds the level-1 pair set for label `l` directly from the CSR.
+/// \brief Builds the level-1 pair set for label `l` directly from the CSR,
+/// in one unchecked ForwardView sweep.
 void InitialPairSet(const Graph& graph, LabelId l, PairSet* out);
 
 /// \brief parent ⋈ label -> child: for every (s, t) in parent and t -l-> u,
-/// emit the distinct (s, u). Uses the unchecked CSR view: this loop
-/// dominates the cost of ComputeSelectivities.
+/// emit the distinct (s, u). The dominant loop of ComputeSelectivities.
+///
+/// `marker` and `bits` are the sparse/dense kernel scratch (bits must be
+/// sized to the graph's vertex count and all-zero, which the kernel
+/// restores before returning); `kernel` follows DenseGroupThreshold.
 void ExtendPairSet(const Graph& graph, const PairSet& parent, LabelId l,
-                   Marker* marker, PairSet* child);
+                   Marker* marker, DynamicBitset* bits, PairKernel kernel,
+                   PairSet* child);
 
 }  // namespace pathest
 

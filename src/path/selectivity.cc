@@ -4,8 +4,10 @@
 #include <mutex>
 #include <utility>
 
+#include "engine/schedule.h"
 #include "engine/thread_pool.h"
 #include "path/pair_set.h"
+#include "util/bitset.h"
 #include "util/timer.h"
 
 namespace pathest {
@@ -55,10 +57,14 @@ Status DfsExtend(RootDfs* r, LabelPath* path) {
   if (depth == r->k) return Status::OK();
   const PairSet& parent = r->ctx->levels[depth];
   if (depth + 1 == r->k) {
-    // Children are leaves: count all |L| extensions in one fused pass.
+    // Children are leaves: count all |L| extensions in one fused pass over
+    // hoisted scratch (views + counts live in the context — no allocation).
     const size_t num_labels = r->graph->num_labels();
-    std::vector<uint64_t> counts(num_labels, 0);
-    r->ctx->leaf_counter.CountExtensions(*r->graph, parent, counts.data());
+    uint64_t* counts = r->ctx->leaf_counts.data();
+    std::fill_n(counts, num_labels, uint64_t{0});
+    r->ctx->leaf_counter.CountExtensions(r->ctx->fwd_views.data(),
+                                         r->graph->num_vertices(), num_labels,
+                                         parent, r->options->kernel, counts);
     for (LabelId l = 0; l < num_labels; ++l) {
       path->PushBack(l);
       r->map->Set(*path, counts[l]);
@@ -68,7 +74,8 @@ Status DfsExtend(RootDfs* r, LabelPath* path) {
   }
   for (LabelId l = 0; l < r->graph->num_labels(); ++l) {
     PairSet* child = &r->ctx->levels[depth + 1];
-    ExtendPairSet(*r->graph, parent, l, &r->ctx->marker, child);
+    ExtendPairSet(*r->graph, parent, l, &r->ctx->marker, &r->ctx->extend_bits,
+                  r->options->kernel, child);
     path->PushBack(l);
     r->map->Set(*path, child->size());
     if (r->options->max_pairs_per_prefix != 0 &&
@@ -92,6 +99,9 @@ Status EvaluateRootSubtree(const Graph& graph, EvalContext& ctx, LabelId root,
                            size_t k, const SelectivityOptions& options,
                            SelectivityMap* map) {
   RootDfs r{&graph, &options, map, &ctx, k};
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    ctx.fwd_views[l] = graph.ForwardView(l);
+  }
   InitialPairSet(graph, root, &ctx.levels[1]);
   LabelPath path{root};
   map->Set(path, ctx.levels[1].size());
@@ -160,8 +170,18 @@ Result<SelectivityMap> ComputeSelectivities(const Graph& graph, size_t k,
     for (size_t w = 0; w < pool.num_threads(); ++w) {
       contexts.emplace_back(graph.num_vertices(), num_labels, k);
     }
-    pool.ParallelFor(num_labels, [&](size_t root, size_t worker) {
-      run_root(root, contexts[worker]);
+    // Dispatch heaviest-first: a root's subtree cost scales with its
+    // pair-set sizes, and its level-1 cardinality — exactly the label
+    // cardinality, since the level-1 pair set IS the label's edge set — is
+    // a free deterministic proxy. Presentation order changes only which
+    // worker finishes when, never the result (disjoint slices).
+    std::vector<uint64_t> weights(num_labels);
+    for (size_t root = 0; root < num_labels; ++root) {
+      weights[root] = graph.LabelCardinality(static_cast<LabelId>(root));
+    }
+    const std::vector<size_t> order = HeaviestFirstOrder(weights);
+    pool.ParallelFor(num_labels, [&](size_t slot, size_t worker) {
+      run_root(order[slot], contexts[worker]);
     });
   }
 
@@ -187,11 +207,13 @@ Result<std::vector<uint64_t>> EvaluatePathPairs(const Graph& graph,
     }
   }
   Marker marker(graph.num_vertices());
+  DynamicBitset bits(graph.num_vertices());
   PairSet current;
   PairSet next;
   InitialPairSet(graph, path.label(0), &current);
   for (size_t i = 1; i < path.length(); ++i) {
-    ExtendPairSet(graph, current, path.label(i), &marker, &next);
+    ExtendPairSet(graph, current, path.label(i), &marker, &bits,
+                  PairKernel::kAuto, &next);
     std::swap(current, next);
   }
   std::vector<uint64_t> packed;

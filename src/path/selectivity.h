@@ -13,8 +13,16 @@
 // space (the root label is the most significant radix digit of the
 // canonical index, so each root's paths of each length form one contiguous
 // run). ComputeSelectivities fans the roots out over an engine ThreadPool
-// with one EvalContext per worker; the result is bit-identical for every
-// num_threads value.
+// with one EvalContext per worker; roots are dispatched heaviest-first
+// (by label cardinality, the level-1 pair-set size) so one monster root
+// cannot serialize the tail of the build. The result is bit-identical for
+// every num_threads value.
+//
+// Kernels: each extension step deduplicates successors with either the
+// sparse epoch-marker kernel or the dense bitmap kernel, chosen per
+// (source group, label) by a cost estimate (see path/pair_set.h).
+// SelectivityOptions::kernel can force either kernel for measurement; the
+// contract is that the choice NEVER changes the computed map, only speed.
 
 #ifndef PATHEST_PATH_SELECTIVITY_H_
 #define PATHEST_PATH_SELECTIVITY_H_
@@ -77,6 +85,23 @@ struct SelectivityOptions {
   /// core. The computed SelectivityMap is bit-identical for every value:
   /// each root label's subtree writes a disjoint slice of the map.
   size_t num_threads = 1;
+
+  /// Extension-kernel selection (see path/pair_set.h). kAuto (default)
+  /// decides per (source group, label) cell with an O(1) cost estimate:
+  /// cells whose expected emission count (group size × the label's mean
+  /// degree) covers the cost of a bitmap word scan with margin
+  /// (DenseGroupThreshold) run the dense bitmap kernel, everything else
+  /// the sparse epoch-marker kernel. kSparse / kDense force one kernel
+  /// everywhere — useful only to measure each kernel in isolation
+  /// (pathest_cli --kernel, benches via PATHEST_KERNEL).
+  ///
+  /// Kernel-selection contract: the computed SelectivityMap (and, on
+  /// failure, the returned status) is bit-identical across all three values
+  /// and across every num_threads — kAuto's choice depends only on the
+  /// graph and the prefix's pair set, never on scheduling or prior scratch
+  /// state. Only wall time differs. Enforced by
+  /// tests/kernel_selectivity_test.cc.
+  PairKernel kernel = PairKernel::kAuto;
 
   /// Optional progress callback invoked after each length-1 subtree
   /// completes (i.e., exactly num_labels times, failing roots included).

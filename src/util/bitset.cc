@@ -1,0 +1,41 @@
+#include "util/bitset.h"
+
+#include "util/status.h"
+
+namespace pathest {
+
+void DynamicBitset::Reset(size_t num_bits) {
+  num_bits_ = num_bits;
+  words_.assign((num_bits + 63) / 64, 0);
+}
+
+void DynamicBitset::UnionWith(const DynamicBitset& other) {
+  PATHEST_CHECK(num_bits_ == other.num_bits_,
+                "DynamicBitset::UnionWith capacity mismatch");
+  for (size_t wi = 0; wi < words_.size(); ++wi) {
+    words_[wi] |= other.words_[wi];
+  }
+}
+
+uint64_t DynamicBitset::Count() const {
+  uint64_t total = 0;
+  for (uint64_t word : words_) {
+    total += static_cast<uint64_t>(std::popcount(word));
+  }
+  return total;
+}
+
+uint64_t DynamicBitset::CountAndClear() {
+  uint64_t total = 0;
+  for (uint64_t& word : words_) {
+    total += static_cast<uint64_t>(std::popcount(word));
+    word = 0;
+  }
+  return total;
+}
+
+void DynamicBitset::ClearAll() {
+  for (uint64_t& word : words_) word = 0;
+}
+
+}  // namespace pathest

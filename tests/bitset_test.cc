@@ -1,0 +1,156 @@
+// Unit tests for DynamicBitset: set/test semantics, word-level union,
+// popcount totals, ascending word-scan emission, and scratch reuse across
+// accumulate/drain cycles (the dense kernel's usage pattern).
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/random.h"
+
+namespace pathest {
+namespace {
+
+TEST(DynamicBitsetTest, StartsEmptyAndSetBitReportsNewness) {
+  DynamicBitset bits(130);  // straddles a word boundary + a partial word
+  EXPECT_EQ(bits.num_bits(), 130u);
+  EXPECT_EQ(bits.num_words(), 3u);
+  EXPECT_EQ(bits.Count(), 0u);
+  for (size_t i : {0u, 63u, 64u, 127u, 128u, 129u}) {
+    EXPECT_FALSE(bits.Test(i)) << i;
+    EXPECT_TRUE(bits.SetBit(i)) << i;
+    EXPECT_TRUE(bits.Test(i)) << i;
+    EXPECT_FALSE(bits.SetBit(i)) << "second set of " << i;
+  }
+  EXPECT_EQ(bits.Count(), 6u);
+}
+
+TEST(DynamicBitsetTest, SetBitBlindMatchesSetBit) {
+  DynamicBitset a(200);
+  DynamicBitset b(200);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const size_t pos = static_cast<size_t>(rng.NextBounded(200));
+    a.SetBit(pos);
+    b.SetBitBlind(pos);  // duplicates must be harmless
+  }
+  EXPECT_EQ(a.Count(), b.Count());
+  for (size_t i = 0; i < 200; ++i) EXPECT_EQ(a.Test(i), b.Test(i)) << i;
+}
+
+TEST(DynamicBitsetTest, UnionWithIsSetUnion) {
+  const size_t n = 300;
+  DynamicBitset a(n);
+  DynamicBitset b(n);
+  std::set<size_t> reference;
+  Rng rng(11);
+  for (int i = 0; i < 120; ++i) {
+    const size_t pa = static_cast<size_t>(rng.NextBounded(n));
+    const size_t pb = static_cast<size_t>(rng.NextBounded(n));
+    a.SetBit(pa);
+    b.SetBit(pb);
+    reference.insert(pa);
+    reference.insert(pb);
+  }
+  a.UnionWith(b);
+  EXPECT_EQ(a.Count(), reference.size());
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(a.Test(i), reference.count(i) == 1) << i;
+  }
+}
+
+TEST(DynamicBitsetTest, WordScanEmitsAscending) {
+  const size_t n = 500;
+  DynamicBitset bits(n);
+  std::set<size_t> reference;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const size_t pos = static_cast<size_t>(rng.NextBounded(n));
+    bits.SetBit(pos);
+    reference.insert(pos);
+  }
+  const std::vector<size_t> expected(reference.begin(), reference.end());
+
+  std::vector<size_t> via_foreach;
+  bits.ForEachSetBit([&](size_t i) { via_foreach.push_back(i); });
+  EXPECT_EQ(via_foreach, expected);
+
+  std::vector<size_t> via_iterator;
+  for (size_t i : bits) via_iterator.push_back(i);
+  EXPECT_EQ(via_iterator, expected);
+  EXPECT_TRUE(std::is_sorted(via_iterator.begin(), via_iterator.end()));
+}
+
+TEST(DynamicBitsetTest, IteratorOnEmptyAndSingleBit) {
+  DynamicBitset empty(77);
+  EXPECT_TRUE(empty.begin() == empty.end());
+  DynamicBitset zero_capacity;
+  EXPECT_TRUE(zero_capacity.begin() == zero_capacity.end());
+
+  DynamicBitset one(77);
+  one.SetBit(76);
+  auto it = one.begin();
+  ASSERT_TRUE(it != one.end());
+  EXPECT_EQ(*it, 76u);
+  ++it;
+  EXPECT_TRUE(it == one.end());
+}
+
+TEST(DynamicBitsetTest, CountAndClearDrainsInOnePass) {
+  DynamicBitset bits(256);
+  for (size_t i = 0; i < 256; i += 3) bits.SetBitBlind(i);
+  EXPECT_EQ(bits.CountAndClear(), 86u);
+  EXPECT_EQ(bits.Count(), 0u);
+  for (size_t i = 0; i < 256; ++i) EXPECT_FALSE(bits.Test(i)) << i;
+}
+
+TEST(DynamicBitsetTest, ExtractAndClearEmitsAscendingAndEmpties) {
+  DynamicBitset bits(192);
+  const std::vector<size_t> expected{1, 5, 63, 64, 65, 128, 191};
+  for (size_t i : expected) bits.SetBitBlind(i);
+  std::vector<size_t> emitted;
+  bits.ExtractAndClear([&](size_t i) { emitted.push_back(i); });
+  EXPECT_EQ(emitted, expected);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitsetTest, ReusableAcrossDrainCycles) {
+  // The kernels rely on the all-zero-after-drain invariant: many rounds of
+  // accumulate + drain on one instance must behave like fresh bitsets.
+  const size_t n = 333;
+  DynamicBitset bits(n);
+  Rng rng(21);
+  for (int round = 0; round < 50; ++round) {
+    std::set<size_t> reference;
+    const int inserts = 1 + static_cast<int>(rng.NextBounded(60));
+    for (int i = 0; i < inserts; ++i) {
+      const size_t pos = static_cast<size_t>(rng.NextBounded(n));
+      bits.SetBitBlind(pos);
+      reference.insert(pos);
+    }
+    std::vector<size_t> emitted;
+    bits.ExtractAndClear([&](size_t i) { emitted.push_back(i); });
+    EXPECT_EQ(emitted, std::vector<size_t>(reference.begin(), reference.end()))
+        << "round " << round;
+  }
+}
+
+TEST(DynamicBitsetTest, ResetResizesAndClears) {
+  DynamicBitset bits(64);
+  bits.SetBit(10);
+  bits.Reset(1000);
+  EXPECT_EQ(bits.num_bits(), 1000u);
+  EXPECT_EQ(bits.num_words(), 16u);
+  EXPECT_EQ(bits.Count(), 0u);
+  bits.SetBit(999);
+  EXPECT_EQ(bits.Count(), 1u);
+  bits.ClearAll();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace pathest

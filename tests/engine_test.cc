@@ -1,6 +1,7 @@
-// Tests for the engine layer: ThreadPool/ParallelFor scheduling guarantees
-// and EvalContext scratch reuse.
+// Tests for the engine layer: ThreadPool/ParallelFor scheduling guarantees,
+// heaviest-first work ordering, and EvalContext scratch reuse.
 
+#include <algorithm>
 #include <atomic>
 #include <set>
 #include <vector>
@@ -8,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/eval_context.h"
+#include "engine/schedule.h"
 #include "engine/thread_pool.h"
 #include "path/selectivity.h"
 #include "test_util.h"
@@ -87,6 +89,25 @@ TEST(ThreadPoolTest, DefaultThreadsIsPositive) {
   EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreads());
 }
 
+TEST(ScheduleTest, HeaviestFirstOrderSortsDescending) {
+  const std::vector<uint64_t> weights{5, 100, 7, 100, 1, 42};
+  const std::vector<size_t> order = HeaviestFirstOrder(weights);
+  // Descending weight, ties (the two 100s) by ascending index.
+  EXPECT_EQ(order, (std::vector<size_t>{1, 3, 5, 2, 0, 4}));
+}
+
+TEST(ScheduleTest, HeaviestFirstOrderIsAPermutation) {
+  const std::vector<uint64_t> weights{3, 3, 3, 0, 9, 3, 2};
+  std::vector<size_t> order = HeaviestFirstOrder(weights);
+  ASSERT_EQ(order.size(), weights.size());
+  std::vector<size_t> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  // All-equal weights degrade to the identity (stable ties).
+  EXPECT_EQ(HeaviestFirstOrder({7, 7, 7}), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_TRUE(HeaviestFirstOrder({}).empty());
+}
+
 TEST(EvalContextTest, RootSubtreeIsPureAndContextReusable) {
   Graph g = SmallGraph();
   const size_t k = 3;
@@ -109,6 +130,24 @@ TEST(EvalContextTest, RootSubtreeIsPureAndContextReusable) {
   auto reference = ComputeSelectivities(g, k);
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(first.values(), reference->values());
+}
+
+TEST(EvalContextTest, OversizedContextEvaluatesSmallerGraph) {
+  // The documented reuse contract: a context built for AT MOST some counts
+  // must evaluate any smaller graph — kernel thresholds and the leaf pass
+  // have to use the graph's real dimensions, not the context capacities.
+  Graph g = SmallGraph();
+  const size_t k = 3;
+  PathSpace space(g.num_labels(), k);
+  EvalContext ctx(g.num_vertices() + 100, g.num_labels() + 5, k + 2);
+  SelectivityOptions options;
+  SelectivityMap map(space);
+  for (LabelId root = 0; root < g.num_labels(); ++root) {
+    ASSERT_TRUE(EvaluateRootSubtree(g, ctx, root, k, options, &map).ok());
+  }
+  auto reference = ComputeSelectivities(g, k);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(map.values(), reference->values());
 }
 
 TEST(EvalContextTest, RootSubtreeWritesOnlyItsSlice) {
