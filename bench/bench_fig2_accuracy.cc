@@ -2,12 +2,14 @@
 // five domain-ordering techniques on a V-optimal k-path histogram, across
 // all four datasets, k in [2, 6], and the bucket sweep beta = n/2 ... n/128.
 //
-// For every (dataset, k, ordering) the distribution D[i] = f(Unrank(i)) is
-// materialized once; each beta then builds one V-optimal histogram and
-// averages |err(ℓ)| (Formula 6) over the whole domain. Expected shape per
-// the paper: sum-based dominates (dramatically on the synthetic SNAP-ER /
-// SNAP-FF data, especially at small beta); card-ranked variants beat
-// alph-ranked ones; error rises as beta shrinks.
+// Every (dataset, k) block runs through MeasureAccuracySweep: per ordering
+// the distribution is materialized once, ONE greedy-merge run produces the
+// whole β sweep's histograms (see histogram/builders.h), and independent
+// orderings fan out over the engine ThreadPool (PATHEST_THREADS, 0 =
+// hardware; the grid is bit-identical at any thread count). Expected shape
+// per the paper: sum-based dominates (dramatically on the synthetic
+// SNAP-ER / SNAP-FF data, especially at small beta); card-ranked variants
+// beat alph-ranked ones; error rises as beta shrinks.
 //
 // Output: one sub-table per (dataset, k) plus fig2_accuracy.csv with every
 // point. Runtime is dominated by exact selectivity computation on the two
@@ -15,37 +17,18 @@
 // PATHEST_KMAX=4 for a quick pass.
 
 #include <cstdio>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
-#include "core/distribution.h"
-#include "core/error.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "histogram/builders.h"
 #include "ordering/factory.h"
 #include "util/csv.h"
-#include "util/timer.h"
 
 namespace pathest {
 namespace {
-
-// Mean |err| of a beta-bucket V-optimal histogram over distribution D.
-double MeanAbsError(const std::vector<uint64_t>& dist, size_t beta) {
-  auto histogram = BuildVOptimalGreedy(dist, beta);
-  bench::DieIf(histogram.status(), "v-optimal build");
-  double total = 0.0;
-  // Walk buckets sequentially instead of binary-searching per index.
-  for (const Bucket& b : histogram->buckets()) {
-    double mean = b.Mean();
-    for (uint64_t i = b.begin; i < b.end; ++i) {
-      total += AbsoluteErrorRate(mean, static_cast<double>(dist[i]));
-    }
-  }
-  return total / static_cast<double>(dist.size());
-}
 
 int Run() {
   const size_t kmax = bench::SizeFromEnv("PATHEST_KMAX", 6);
@@ -64,32 +47,34 @@ int Run() {
     for (size_t k = kmin; k <= kmax; ++k) {
       PathSpace space(graph.num_labels(), k);
       std::vector<size_t> betas = BetaSweep(space.size(), 7);
+      const std::vector<std::string>& orderings = PaperOrderingNames();
 
-      std::vector<std::string> header = {"beta"};
-      for (const auto& name : PaperOrderingNames()) header.push_back(name);
-      ReportTable table(header);
-      // rows[beta_idx][ordering_idx]
-      std::vector<std::vector<double>> cells(
-          betas.size(), std::vector<double>(PaperOrderingNames().size()));
+      auto grid =
+          MeasureAccuracySweep(graph, map, orderings, k, betas,
+                               HistogramType::kVOptimal,
+                               bench::ThreadsFromEnv());
+      bench::DieIf(grid.status(), "accuracy sweep");
 
-      for (size_t o = 0; o < PaperOrderingNames().size(); ++o) {
-        const std::string& name = PaperOrderingNames()[o];
-        auto ordering = MakeOrdering(name, graph, k);
-        bench::DieIf(ordering.status(), name.c_str());
-        auto dist = BuildDistribution(map, **ordering);
-        bench::DieIf(dist.status(), "distribution");
+      for (size_t o = 0; o < orderings.size(); ++o) {
         for (size_t b = 0; b < betas.size(); ++b) {
-          cells[b][o] = MeanAbsError(*dist, betas[b]);
+          const AccuracyResult& cell = (*grid)[o * betas.size() + b];
           bench::DieIf(
               csv.WriteRow({spec.name, std::to_string(k),
-                            std::to_string(betas[b]), name,
-                            FormatDouble(cells[b][o], 6)}),
+                            std::to_string(betas[b]), orderings[o],
+                            FormatDouble(cell.errors.mean_abs_error, 6)}),
               "csv row");
         }
       }
+
+      std::vector<std::string> header = {"beta"};
+      for (const auto& name : orderings) header.push_back(name);
+      ReportTable table(header);
       for (size_t b = 0; b < betas.size(); ++b) {
         std::vector<std::string> row = {std::to_string(betas[b])};
-        for (double v : cells[b]) row.push_back(FormatDouble(v, 4));
+        for (size_t o = 0; o < orderings.size(); ++o) {
+          row.push_back(FormatDouble(
+              (*grid)[o * betas.size() + b].errors.mean_abs_error, 4));
+        }
         table.AddRow(std::move(row));
       }
       std::printf("Figure 2 [%s, k=%zu, |L_k|=%llu]: mean error rate, "

@@ -4,14 +4,24 @@
 // accuracy/memory trade-off, the practical question a DBA (or an automated
 // stats advisor) answers when enabling path statistics.
 //
+// This drives the histogram engine directly: the ordering, its
+// distribution, and the shared DistributionStats are built ONCE and reused
+// by every histogram type's whole-β BuildHistogramSweep (the v-optimal
+// column costs a single greedy-merge run for all 8 budgets).
+//
 // Run:  ./histogram_tuning [dataset] [k]
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/distribution.h"
+#include "core/error.h"
 #include "core/experiment.h"
 #include "core/report.h"
 #include "gen/datasets.h"
+#include "histogram/builders.h"
+#include "histogram/stats.h"
 #include "ordering/factory.h"
 #include "path/selectivity.h"
 
@@ -43,21 +53,40 @@ int main(int argc, char** argv) {
               dataset.c_str(), k,
               static_cast<unsigned long long>(space.size()));
 
+  // One ordering + distribution + stats build serves every (type, beta).
+  auto ordering = MakeOrdering("sum-based", *graph, k);
+  if (!ordering.ok()) {
+    std::fprintf(stderr, "%s\n", ordering.status().ToString().c_str());
+    return 1;
+  }
+  auto dist = BuildDistribution(*truth, **ordering);
+  if (!dist.ok()) {
+    std::fprintf(stderr, "%s\n", dist.status().ToString().c_str());
+    return 1;
+  }
+  DistributionStats stats(*dist);
+
+  const std::vector<size_t> betas = BetaSweep(space.size(), 8);
+  auto vopt = BuildHistogramSweep(HistogramType::kVOptimal, stats, betas);
+  auto ew = BuildHistogramSweep(HistogramType::kEquiWidth, stats, betas);
+  auto ed = BuildHistogramSweep(HistogramType::kEquiDepth, stats, betas);
+  if (!vopt.ok() || !ew.ok() || !ed.ok()) {
+    std::fprintf(stderr, "histogram sweep failed\n");
+    return 1;
+  }
+
   ReportTable table({"beta", "approx bytes", "v-optimal err", "equi-width err",
                      "equi-depth err", "exact fraction (v-opt)"});
-  for (size_t beta : BetaSweep(space.size(), 8)) {
-    auto vopt = MeasureAccuracy(*graph, *truth, "sum-based", k, beta,
-                                HistogramType::kVOptimal);
-    auto ew = MeasureAccuracy(*graph, *truth, "sum-based", k, beta,
-                              HistogramType::kEquiWidth);
-    auto ed = MeasureAccuracy(*graph, *truth, "sum-based", k, beta,
-                              HistogramType::kEquiDepth);
-    if (!vopt.ok() || !ew.ok() || !ed.ok()) continue;
-    table.AddRow({std::to_string(beta), std::to_string(beta * 16),
-                  FormatDouble(vopt->errors.mean_abs_error, 4),
-                  FormatDouble(ew->errors.mean_abs_error, 4),
-                  FormatDouble(ed->errors.mean_abs_error, 4),
-                  FormatDouble(vopt->errors.exact_fraction, 3)});
+  for (size_t b = 0; b < betas.size(); ++b) {
+    const ErrorSummary vopt_errors = SummarizeHistogramErrors((*vopt)[b],
+                                                              *dist);
+    table.AddRow({std::to_string(betas[b]), std::to_string(betas[b] * 16),
+                  FormatDouble(vopt_errors.mean_abs_error, 4),
+                  FormatDouble(SummarizeHistogramErrors((*ew)[b], *dist)
+                                   .mean_abs_error, 4),
+                  FormatDouble(SummarizeHistogramErrors((*ed)[b], *dist)
+                                   .mean_abs_error, 4),
+                  FormatDouble(vopt_errors.exact_fraction, 3)});
   }
   std::printf("%s\n", table.ToString().c_str());
   std::printf("memory is ~16 bytes per bucket (boundary + frequency sum); "

@@ -1,12 +1,49 @@
 #include "core/experiment.h"
 
+#include <algorithm>
+#include <functional>
 #include <utility>
 
+#include "core/distribution.h"
 #include "core/workload.h"
+#include "engine/thread_pool.h"
+#include "histogram/stats.h"
 #include "ordering/factory.h"
 #include "util/timer.h"
 
 namespace pathest {
+
+namespace {
+
+// Worker count for the per-ordering grid fan-out, following
+// SelectivityOptions semantics (0 = hardware) clamped to the job count.
+size_t GridThreads(size_t num_threads, size_t num_orderings) {
+  const size_t requested =
+      num_threads == 0 ? ThreadPool::DefaultThreads() : num_threads;
+  return std::min(requested, num_orderings);
+}
+
+// Runs `row(o)` for every ordering index, serially or on a pool, and
+// returns the lowest-index failure so the outcome never depends on thread
+// count (same pattern as ComputeSelectivities).
+Status RunOrderingRows(size_t num_orderings, size_t num_threads,
+                       const std::function<Status(size_t)>& row) {
+  std::vector<Status> row_status(num_orderings);
+  const size_t threads = GridThreads(num_threads, num_orderings);
+  if (threads <= 1) {
+    for (size_t o = 0; o < num_orderings; ++o) row_status[o] = row(o);
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(num_orderings,
+                     [&](size_t o, size_t /*worker*/) { row_status[o] = row(o); });
+  }
+  for (size_t o = 0; o < num_orderings; ++o) {
+    if (!row_status[o].ok()) return std::move(row_status[o]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<SelectivityBuildResult> MeasureSelectivityBuild(
     const Graph& graph, size_t k, SelectivityOptions options) {
@@ -48,6 +85,21 @@ ReportTable SelectivityBuildReport(const Graph& graph,
                 std::to_string(graph.num_edges()),
                 FormatDouble(result.wall_ms, 4), "100"});
   return table;
+}
+
+ErrorSummary SummarizeHistogramErrors(const Histogram& histogram,
+                                      const std::vector<uint64_t>& dist) {
+  std::vector<double> abs_errors;
+  abs_errors.reserve(dist.size());
+  // Walk buckets in domain order instead of binary-searching per index.
+  for (const Bucket& bucket : histogram.buckets()) {
+    const double mean = bucket.Mean();
+    for (uint64_t i = bucket.begin; i < bucket.end; ++i) {
+      abs_errors.push_back(
+          AbsoluteErrorRate(mean, static_cast<double>(dist[i])));
+    }
+  }
+  return SummarizeErrors(std::move(abs_errors));
 }
 
 std::vector<size_t> BetaSweep(uint64_t domain_size, size_t levels) {
@@ -95,6 +147,48 @@ Result<AccuracyResult> MeasureAccuracy(const Graph& graph,
   return result;
 }
 
+Result<std::vector<AccuracyResult>> MeasureAccuracySweep(
+    const Graph& graph, const SelectivityMap& selectivities,
+    const std::vector<std::string>& ordering_names, size_t k,
+    const std::vector<size_t>& betas, HistogramType histogram_type,
+    size_t num_threads) {
+  const size_t num_betas = betas.size();
+  std::vector<AccuracyResult> grid(ordering_names.size() * num_betas);
+
+  auto row = [&](size_t o) -> Status {
+    auto ordering = MakeOrderingWithSelectivities(ordering_names[o], graph, k,
+                                                  selectivities);
+    if (!ordering.ok()) return ordering.status();
+    auto dist = BuildDistribution(selectivities, **ordering);
+    if (!dist.ok()) return dist.status();
+    DistributionStats stats(*dist);
+
+    Timer build_timer;
+    auto histograms = BuildHistogramSweep(histogram_type, stats, betas);
+    if (!histograms.ok()) return histograms.status();
+    const double amortized_ms =
+        num_betas == 0 ? 0.0
+                       : build_timer.ElapsedMillis() /
+                             static_cast<double>(num_betas);
+
+    for (size_t b = 0; b < num_betas; ++b) {
+      const Histogram& h = (*histograms)[b];
+      AccuracyResult& cell = grid[o * num_betas + b];
+      cell.ordering = (*ordering)->name();
+      cell.k = k;
+      cell.beta = betas[b];
+      cell.errors = SummarizeHistogramErrors(h, *dist);
+      cell.sse = h.TotalSse();
+      cell.build_ms = amortized_ms;
+    }
+    return Status::OK();
+  };
+
+  PATHEST_RETURN_NOT_OK(RunOrderingRows(ordering_names.size(), num_threads,
+                                        row));
+  return grid;
+}
+
 Result<TimingResult> MeasureEstimationTime(const Graph& graph,
                                            const SelectivityMap& selectivities,
                                            const std::string& ordering_name,
@@ -131,6 +225,55 @@ Result<TimingResult> MeasureEstimationTime(const Graph& graph,
   // dead-code elimination without affecting output.
   if (sink == -1.0) result.calls += 1;
   return result;
+}
+
+Result<std::vector<TimingResult>> MeasureTimingSweep(
+    const Graph& graph, const SelectivityMap& selectivities,
+    const std::vector<std::string>& ordering_names, size_t k,
+    const std::vector<size_t>& betas, HistogramType histogram_type,
+    size_t repetitions, size_t num_threads) {
+  const size_t num_betas = betas.size();
+  std::vector<TimingResult> grid(ordering_names.size() * num_betas);
+
+  PathSpace space(graph.num_labels(), k);
+  const std::vector<LabelPath> workload = AllPathsWorkload(space);
+
+  auto row = [&](size_t o) -> Status {
+    auto ordering = MakeOrderingWithSelectivities(ordering_names[o], graph, k,
+                                                  selectivities);
+    if (!ordering.ok()) return ordering.status();
+    auto dist = BuildDistribution(selectivities, **ordering);
+    if (!dist.ok()) return dist.status();
+    DistributionStats stats(*dist);
+    auto histograms = BuildHistogramSweep(histogram_type, stats, betas);
+    if (!histograms.ok()) return histograms.status();
+
+    for (size_t b = 0; b < num_betas; ++b) {
+      const Histogram& h = (*histograms)[b];
+      TimingResult& cell = grid[o * num_betas + b];
+      cell.ordering = (*ordering)->name();
+      cell.beta = betas[b];
+      // The same Rank + bucket-lookup pair PathHistogram::Estimate performs.
+      double sink = 0.0;
+      Timer timer;
+      for (size_t rep = 0; rep < repetitions; ++rep) {
+        for (const LabelPath& path : workload) {
+          sink += h.Estimate((*ordering)->Rank(path));
+        }
+      }
+      const double total_us = timer.ElapsedMicros();
+      cell.calls = static_cast<uint64_t>(repetitions) * workload.size();
+      cell.avg_estimate_us =
+          cell.calls == 0 ? 0.0
+                          : total_us / static_cast<double>(cell.calls);
+      if (sink == -1.0) cell.calls += 1;  // defeat dead-code elimination
+    }
+    return Status::OK();
+  };
+
+  PATHEST_RETURN_NOT_OK(RunOrderingRows(ordering_names.size(), num_threads,
+                                        row));
+  return grid;
 }
 
 }  // namespace pathest

@@ -56,6 +56,14 @@ ReportTable SelectivityBuildReport(const Graph& graph,
 /// `levels` steps (Table 4 uses n = 55 996 -> 27993 ... 437 with 7 levels).
 std::vector<size_t> BetaSweep(uint64_t domain_size, size_t levels);
 
+/// \brief |err| summary of one histogram over its own distribution: walks
+/// buckets in domain order and scores every position's bucket-mean estimate
+/// against dist[i] (Formula 6). The error multiset equals per-path
+/// estimation, since D[i] = f(Unrank(i)). Shared by MeasureAccuracySweep
+/// and the examples.
+ErrorSummary SummarizeHistogramErrors(const Histogram& histogram,
+                                      const std::vector<uint64_t>& dist);
+
 /// \brief One accuracy measurement (a point of the paper's Figure 2).
 struct AccuracyResult {
   std::string ordering;
@@ -79,6 +87,27 @@ Result<AccuracyResult> MeasureAccuracy(const Graph& graph,
                                        size_t k, size_t beta,
                                        HistogramType histogram_type);
 
+/// \brief Batched accuracy grid — the whole (ordering × β) block of the
+/// paper's Figure 2 in one call, through the shared-stats sweep engine
+/// (histogram/builders.h): per ordering, the distribution and its
+/// DistributionStats are materialized ONCE and every β's histogram comes
+/// from one BuildHistogramSweep call (one greedy-merge run for the whole β
+/// sweep under kVOptimal).
+///
+/// Returns the grid row-major: result[o * betas.size() + b] is ordering
+/// `ordering_names[o]` at `betas[b]`. Independent orderings fan out on an
+/// engine ThreadPool (`num_threads` follows SelectivityOptions semantics:
+/// 1 = serial, 0 = hardware); every cell is a pure function of its
+/// (ordering, β), so the grid is bit-identical at any thread count, and on
+/// failure the lowest-index failing ordering's status is returned. In sweep
+/// results `build_ms` holds the ordering's sweep build time amortized
+/// equally over its β cells (summing a row gives the true total).
+Result<std::vector<AccuracyResult>> MeasureAccuracySweep(
+    const Graph& graph, const SelectivityMap& selectivities,
+    const std::vector<std::string>& ordering_names, size_t k,
+    const std::vector<size_t>& betas, HistogramType histogram_type,
+    size_t num_threads = 1);
+
 /// \brief One timing measurement (a cell of the paper's Table 4).
 struct TimingResult {
   std::string ordering;
@@ -97,6 +126,21 @@ Result<TimingResult> MeasureEstimationTime(const Graph& graph,
                                            size_t k, size_t beta,
                                            HistogramType histogram_type,
                                            size_t repetitions);
+
+/// \brief Batched timing grid — the paper's Table 4 block in one call.
+/// Histograms come from the shared-stats sweep engine (one build pass per
+/// ordering); the estimation replay of each cell is then timed exactly like
+/// MeasureEstimationTime. Row-major like MeasureAccuracySweep.
+///
+/// `num_threads` fans orderings out on an engine ThreadPool; keep the
+/// default 1 when the measured times matter — concurrent rows contend for
+/// cores and pollute per-query wall times. Parallel runs are still valid
+/// for smoke/coverage passes.
+Result<std::vector<TimingResult>> MeasureTimingSweep(
+    const Graph& graph, const SelectivityMap& selectivities,
+    const std::vector<std::string>& ordering_names, size_t k,
+    const std::vector<size_t>& betas, HistogramType histogram_type,
+    size_t repetitions, size_t num_threads = 1);
 
 }  // namespace pathest
 

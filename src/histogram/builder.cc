@@ -50,4 +50,51 @@ Result<Histogram> BuildHistogram(HistogramType type,
   return Status::InvalidArgument("unknown histogram type");
 }
 
+Result<Histogram> BuildHistogram(HistogramType type,
+                                 const DistributionStats& stats,
+                                 size_t num_buckets) {
+  switch (type) {
+    case HistogramType::kEquiWidth:
+      return BuildEquiWidth(stats, num_buckets);
+    case HistogramType::kEquiDepth:
+      return BuildEquiDepth(stats, num_buckets);
+    case HistogramType::kVOptimal:
+      return BuildVOptimalGreedy(stats, num_buckets);
+    case HistogramType::kVOptimalExact:
+      return BuildVOptimalExact(stats, num_buckets);
+    case HistogramType::kMaxDiff:
+      return BuildMaxDiff(stats, num_buckets);
+    case HistogramType::kEndBiased:
+      return BuildEndBiased(stats, num_buckets);
+  }
+  return Status::InvalidArgument("unknown histogram type");
+}
+
+Result<std::vector<Histogram>> BuildHistogramSweep(
+    HistogramType type, const DistributionStats& stats,
+    const std::vector<size_t>& betas) {
+  switch (type) {
+    case HistogramType::kVOptimal:
+      return BuildVOptimalGreedySweep(stats, betas);
+    case HistogramType::kMaxDiff:
+      return BuildMaxDiffSweep(stats, betas);
+    case HistogramType::kEndBiased:
+      return BuildEndBiasedSweep(stats, betas);
+    case HistogramType::kEquiWidth:
+    case HistogramType::kEquiDepth:
+    case HistogramType::kVOptimalExact: {
+      // No incremental form; per-β builds over the shared stats.
+      std::vector<Histogram> out;
+      out.reserve(betas.size());
+      for (size_t beta : betas) {
+        auto h = BuildHistogram(type, stats, beta);
+        if (!h.ok()) return h.status();
+        out.push_back(std::move(*h));
+      }
+      return out;
+    }
+  }
+  return Status::InvalidArgument("unknown histogram type");
+}
+
 }  // namespace pathest

@@ -1,42 +1,78 @@
 #include <algorithm>
-#include <numeric>
 
 #include "histogram/builders.h"
 
 namespace pathest {
 
-Result<Histogram> BuildEndBiased(const std::vector<uint64_t>& data,
-                                 size_t num_buckets) {
-  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
-  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+namespace {
+
+// Cut set for `beta` buckets from a ranked top-frequency prefix (see
+// TopFrequencyPositions): the first (beta - 1) / 2 positions become
+// singleton buckets. Shared by the per-β builder and the sweep so one
+// ranked selection produces bit-identical histograms either way.
+Result<Histogram> EndBiasedFromRanked(const std::vector<uint64_t>& data,
+                                      size_t beta,
+                                      const std::vector<uint64_t>& ranked) {
   const size_t n = data.size();
-  const size_t beta = std::min(num_buckets, n);
-  if (beta == 1 || n == 1) {
+  if (beta <= 1 || n == 1) {
     return Histogram::FromBoundaries(data, {});
   }
-
   // Give the (beta - 1) / 2 highest-frequency positions singleton buckets;
-  // every contiguous run between singletons becomes one bucket, keeping the
-  // total bucket count <= beta.
-  size_t singletons = (beta - 1) / 2;
-  std::vector<uint64_t> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  if (singletons > 0) {
-    std::nth_element(order.begin(), order.begin() + (singletons - 1),
-                     order.end(), [&](uint64_t a, uint64_t b) {
-                       if (data[a] != data[b]) return data[a] > data[b];
-                       return a < b;
-                     });
-  }
+  // every contiguous run between singletons becomes one bucket, keeping
+  // the total bucket count <= beta.
+  const size_t singletons = (beta - 1) / 2;
+  PATHEST_CHECK(ranked.size() >= singletons, "ranked frequency prefix short");
   std::vector<uint64_t> cuts;
+  cuts.reserve(2 * singletons);
   for (size_t i = 0; i < singletons; ++i) {
-    uint64_t pos = order[i];
+    const uint64_t pos = ranked[i];
     if (pos > 0) cuts.push_back(pos);
     if (pos + 1 < n) cuts.push_back(pos + 1);
   }
   std::sort(cuts.begin(), cuts.end());
   cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
   return Histogram::FromBoundaries(data, std::move(cuts));
+}
+
+}  // namespace
+
+Result<Histogram> BuildEndBiased(const std::vector<uint64_t>& data,
+                                 size_t num_buckets) {
+  if (data.empty()) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  const size_t beta = std::min(num_buckets, data.size());
+  const size_t singletons = beta > 1 ? (beta - 1) / 2 : 0;
+  return EndBiasedFromRanked(data, beta,
+                             TopFrequencyPositions(data, singletons));
+}
+
+Result<Histogram> BuildEndBiased(const DistributionStats& stats,
+                                 size_t num_buckets) {
+  return BuildEndBiased(stats.data(), num_buckets);
+}
+
+Result<std::vector<Histogram>> BuildEndBiasedSweep(
+    const DistributionStats& stats, const std::vector<size_t>& betas) {
+  if (stats.n() == 0) return Status::InvalidArgument("empty histogram domain");
+  for (size_t b : betas) {
+    if (b == 0) return Status::InvalidArgument("need >= 1 bucket");
+  }
+  const size_t n = stats.n();
+  size_t max_singletons = 0;
+  for (size_t b : betas) {
+    const size_t beta = std::min(b, n);
+    if (beta > 1) max_singletons = std::max(max_singletons, (beta - 1) / 2);
+  }
+  const std::vector<uint64_t> ranked =
+      TopFrequencyPositions(stats.data(), max_singletons);
+  std::vector<Histogram> out;
+  out.reserve(betas.size());
+  for (size_t b : betas) {
+    auto h = EndBiasedFromRanked(stats.data(), std::min(b, n), ranked);
+    if (!h.ok()) return h.status();
+    out.push_back(std::move(*h));
+  }
+  return out;
 }
 
 }  // namespace pathest

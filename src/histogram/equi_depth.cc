@@ -1,35 +1,63 @@
+#include <algorithm>
+
 #include "histogram/builders.h"
 
 namespace pathest {
+
+namespace {
+
+// Boundary construction over a prefix-sum array (n + 1 entries, prefix[i] =
+// sum of data[0, i)). Both entry points run through here — the stats
+// overload with the shared array, the vector overload with a locally
+// accumulated one built in the same order — so their boundaries are
+// bit-identical.
+Result<Histogram> EquiDepthFromPrefix(const std::vector<uint64_t>& data,
+                                      const std::vector<double>& prefix,
+                                      size_t num_buckets) {
+  const uint64_t n = data.size();
+  const uint64_t beta = std::min<uint64_t>(num_buckets, n);
+  const double target = prefix.back() / static_cast<double>(beta);
+
+  // The j-th cut closes bucket j at the first position whose prefix mass
+  // reaches j * target — an O(log n) binary search — clamped so every
+  // bucket is non-empty and enough positions remain for the cuts still to
+  // place.
+  std::vector<uint64_t> boundaries;
+  boundaries.reserve(beta - 1);
+  uint64_t last = 0;
+  for (uint64_t j = 1; j < beta; ++j) {
+    auto it = std::lower_bound(prefix.begin(), prefix.end(),
+                               target * static_cast<double>(j));
+    uint64_t p = static_cast<uint64_t>(it - prefix.begin());
+    p = std::min<uint64_t>(p, n);
+    p = std::max<uint64_t>(p, last + 1);
+    p = std::min<uint64_t>(p, n - (beta - j));
+    boundaries.push_back(p);
+    last = p;
+  }
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace
+
+Result<Histogram> BuildEquiDepth(const DistributionStats& stats,
+                                 size_t num_buckets) {
+  if (stats.n() == 0) return Status::InvalidArgument("empty histogram domain");
+  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  return EquiDepthFromPrefix(stats.data(), stats.prefix_sums(), num_buckets);
+}
 
 Result<Histogram> BuildEquiDepth(const std::vector<uint64_t>& data,
                                  size_t num_buckets) {
   if (data.empty()) return Status::InvalidArgument("empty histogram domain");
   if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
-  const uint64_t n = data.size();
-  const uint64_t beta = std::min<uint64_t>(num_buckets, n);
-
-  double total = 0.0;
-  for (uint64_t v : data) total += static_cast<double>(v);
-  const double target = total / static_cast<double>(beta);
-
-  std::vector<uint64_t> boundaries;
-  boundaries.reserve(beta - 1);
-  double acc = 0.0;
-  double next_cut = target;
-  for (uint64_t i = 0; i < n && boundaries.size() + 1 < beta; ++i) {
-    acc += static_cast<double>(data[i]);
-    // Close the bucket once its mass reaches the target, but never create an
-    // empty-width bucket and always leave room for the remaining cuts.
-    uint64_t remaining_cuts = beta - 1 - boundaries.size();
-    uint64_t last_start = boundaries.empty() ? 0 : boundaries.back();
-    bool must_cut = (n - (i + 1)) == remaining_cuts;  // else cannot fit rest
-    if ((acc >= next_cut && i + 1 > last_start && i + 1 < n) || must_cut) {
-      boundaries.push_back(i + 1);
-      next_cut += target;
-    }
+  // Only the mass prefix is needed here; skip the squared-count and max
+  // aggregates a full DistributionStats would compute.
+  std::vector<double> prefix(data.size() + 1, 0.0);
+  for (size_t i = 0; i < data.size(); ++i) {
+    prefix[i + 1] = prefix[i] + static_cast<double>(data[i]);
   }
-  return Histogram::FromBoundaries(data, std::move(boundaries));
+  return EquiDepthFromPrefix(data, prefix, num_buckets);
 }
 
 }  // namespace pathest

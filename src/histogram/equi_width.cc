@@ -18,4 +18,9 @@ Result<Histogram> BuildEquiWidth(const std::vector<uint64_t>& data,
   return Histogram::FromBoundaries(data, std::move(boundaries));
 }
 
+Result<Histogram> BuildEquiWidth(const DistributionStats& stats,
+                                 size_t num_buckets) {
+  return BuildEquiWidth(stats.data(), num_buckets);
+}
+
 }  // namespace pathest

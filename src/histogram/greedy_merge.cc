@@ -1,4 +1,7 @@
+#include <algorithm>
+#include <functional>
 #include <queue>
+#include <utility>
 
 #include "histogram/builders.h"
 
@@ -40,14 +43,31 @@ double MergeDelta(const Node& a, const Node& b) {
   return merged_sse - a.Sse() - b.Sse();
 }
 
-}  // namespace
-
-Result<Histogram> BuildVOptimalGreedy(const std::vector<uint64_t>& data,
-                                      size_t num_buckets) {
+// The shared merge engine: ONE lazy-min-heap merge pass from n singleton
+// buckets down to the smallest requested level, snapshotting boundaries
+// each time the live-bucket count reaches a requested level. Both the
+// per-β builder and the sweep run through here, which is what makes their
+// outputs bit-identical: the merge trajectory never depends on the target
+// β — the target only decides where along the trajectory to stop (or, for
+// the sweep, where to snapshot and keep going).
+Result<std::vector<Histogram>> RunGreedyMerge(const std::vector<uint64_t>& data,
+                                              const std::vector<size_t>& betas,
+                                              GreedyMergeMetrics* metrics) {
   if (data.empty()) return Status::InvalidArgument("empty histogram domain");
-  if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
+  for (size_t b : betas) {
+    if (b == 0) return Status::InvalidArgument("need >= 1 bucket");
+  }
+  if (betas.empty()) return std::vector<Histogram>{};
   const size_t n = data.size();
-  const size_t beta = std::min(num_buckets, n);
+  if (metrics != nullptr) ++metrics->merge_runs;
+
+  // Requested live-bucket levels, clamped like the per-β builder, visited
+  // in descending order as merging shrinks the live count.
+  std::vector<size_t> targets;
+  targets.reserve(betas.size());
+  for (size_t b : betas) targets.push_back(std::min(b, n));
+  std::sort(targets.begin(), targets.end(), std::greater<size_t>());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
 
   std::vector<Node> nodes(n);
   for (size_t i = 0; i < n; ++i) {
@@ -58,51 +78,103 @@ Result<Histogram> BuildVOptimalGreedy(const std::vector<uint64_t>& data,
                     0,       true};
   }
 
-  auto make_candidate = [&](size_t i) {
-    size_t j = static_cast<size_t>(nodes[i].next);
-    return Candidate{MergeDelta(nodes[i], nodes[j]), i, nodes[i].version,
-                     nodes[j].version};
-  };
-
-  std::priority_queue<Candidate, std::vector<Candidate>,
-                      std::greater<Candidate>>
-      heap;
-  for (size_t i = 0; i + 1 < n; ++i) heap.push(make_candidate(i));
-
+  // Boundary snapshots per target level, in descending-level order.
+  std::vector<std::pair<size_t, std::vector<uint64_t>>> snapshots;
+  snapshots.reserve(targets.size());
   size_t live = n;
-  while (live > beta) {
-    PATHEST_CHECK(!heap.empty(), "greedy merge heap exhausted early");
-    Candidate c = heap.top();
-    heap.pop();
-    Node& a = nodes[c.node];
-    if (!a.alive || a.next < 0 || c.left_version != a.version ||
-        c.right_version != nodes[a.next].version) {
-      continue;  // stale entry
+  size_t next_target = 0;
+  auto snapshot_if_requested = [&]() {
+    if (next_target >= targets.size() || live != targets[next_target]) return;
+    std::vector<uint64_t> boundaries;
+    boundaries.reserve(live - 1);
+    for (size_t i = 0; i < n; ++i) {
+      if (nodes[i].alive && nodes[i].begin > 0) {
+        boundaries.push_back(nodes[i].begin);
+      }
     }
-    Node& b = nodes[a.next];
-    // Merge b into a.
-    a.end = b.end;
-    a.sum += b.sum;
-    a.sumsq += b.sumsq;
-    a.next = b.next;
-    ++a.version;
-    b.alive = false;
-    ++b.version;
-    if (a.next >= 0) nodes[a.next].prev = static_cast<int64_t>(c.node);
-    --live;
-    // Refresh candidates with both neighbors.
-    if (a.prev >= 0) heap.push(make_candidate(static_cast<size_t>(a.prev)));
-    if (a.next >= 0) heap.push(make_candidate(c.node));
+    snapshots.emplace_back(live, std::move(boundaries));
+    ++next_target;
+  };
+  snapshot_if_requested();  // covers targets equal to n
+
+  if (live > targets.back()) {
+    auto make_candidate = [&](size_t i) {
+      size_t j = static_cast<size_t>(nodes[i].next);
+      return Candidate{MergeDelta(nodes[i], nodes[j]), i, nodes[i].version,
+                       nodes[j].version};
+    };
+
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        std::greater<Candidate>>
+        heap;
+    for (size_t i = 0; i + 1 < n; ++i) heap.push(make_candidate(i));
+
+    while (live > targets.back()) {
+      PATHEST_CHECK(!heap.empty(), "greedy merge heap exhausted early");
+      Candidate c = heap.top();
+      heap.pop();
+      Node& a = nodes[c.node];
+      if (!a.alive || a.next < 0 || c.left_version != a.version ||
+          c.right_version != nodes[a.next].version) {
+        continue;  // stale entry
+      }
+      Node& b = nodes[a.next];
+      // Merge b into a.
+      a.end = b.end;
+      a.sum += b.sum;
+      a.sumsq += b.sumsq;
+      a.next = b.next;
+      ++a.version;
+      b.alive = false;
+      ++b.version;
+      if (a.next >= 0) nodes[a.next].prev = static_cast<int64_t>(c.node);
+      --live;
+      if (metrics != nullptr) ++metrics->merges;
+      // Refresh candidates with both neighbors.
+      if (a.prev >= 0) heap.push(make_candidate(static_cast<size_t>(a.prev)));
+      if (a.next >= 0) heap.push(make_candidate(c.node));
+      snapshot_if_requested();
+    }
   }
 
-  std::vector<uint64_t> boundaries;
-  boundaries.reserve(beta - 1);
-  for (size_t i = 0; i < n; ++i) {
-    if (nodes[i].alive && nodes[i].begin > 0) {
-      boundaries.push_back(nodes[i].begin);
+  // Materialize one histogram per INPUT beta (duplicates share a snapshot).
+  std::vector<Histogram> out;
+  out.reserve(betas.size());
+  for (size_t b : betas) {
+    const size_t level = std::min(b, n);
+    const std::vector<uint64_t>* boundaries = nullptr;
+    for (const auto& [snap_level, snap] : snapshots) {
+      if (snap_level == level) {
+        boundaries = &snap;
+        break;
+      }
     }
+    PATHEST_CHECK(boundaries != nullptr, "greedy sweep missed a target level");
+    auto h = Histogram::FromBoundaries(data, *boundaries);
+    if (!h.ok()) return h.status();
+    out.push_back(std::move(*h));
   }
-  return Histogram::FromBoundaries(data, std::move(boundaries));
+  return out;
+}
+
+}  // namespace
+
+Result<Histogram> BuildVOptimalGreedy(const std::vector<uint64_t>& data,
+                                      size_t num_buckets) {
+  auto sweep = RunGreedyMerge(data, {num_buckets}, nullptr);
+  if (!sweep.ok()) return sweep.status();
+  return std::move((*sweep)[0]);
+}
+
+Result<Histogram> BuildVOptimalGreedy(const DistributionStats& stats,
+                                      size_t num_buckets) {
+  return BuildVOptimalGreedy(stats.data(), num_buckets);
+}
+
+Result<std::vector<Histogram>> BuildVOptimalGreedySweep(
+    const DistributionStats& stats, const std::vector<size_t>& betas,
+    GreedyMergeMetrics* metrics) {
+  return RunGreedyMerge(stats.data(), betas, metrics);
 }
 
 }  // namespace pathest

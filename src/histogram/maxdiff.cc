@@ -1,38 +1,65 @@
 #include <algorithm>
-#include <cmath>
-#include <numeric>
 
 #include "histogram/builders.h"
 
 namespace pathest {
 
+namespace {
+
+// Boundaries for `beta` buckets from a ranked-gap prefix (see
+// TopGapPositions): the first beta - 1 ranked positions, ascending. Both
+// the per-β builder and the sweep derive cuts through here, so one ranked
+// selection produces bit-identical histograms either way.
+Result<Histogram> MaxDiffFromRanked(const std::vector<uint64_t>& data,
+                                    size_t beta,
+                                    const std::vector<uint64_t>& ranked) {
+  if (beta <= 1 || data.size() == 1) {
+    return Histogram::FromBoundaries(data, {});
+  }
+  PATHEST_CHECK(ranked.size() >= beta - 1, "ranked gap prefix too short");
+  std::vector<uint64_t> boundaries(ranked.begin(),
+                                   ranked.begin() + (beta - 1));
+  std::sort(boundaries.begin(), boundaries.end());
+  return Histogram::FromBoundaries(data, std::move(boundaries));
+}
+
+}  // namespace
+
 Result<Histogram> BuildMaxDiff(const std::vector<uint64_t>& data,
                                size_t num_buckets) {
   if (data.empty()) return Status::InvalidArgument("empty histogram domain");
   if (num_buckets == 0) return Status::InvalidArgument("need >= 1 bucket");
-  const size_t n = data.size();
-  const size_t beta = std::min(num_buckets, n);
-  if (beta == 1 || n == 1) {
-    return Histogram::FromBoundaries(data, {});
-  }
+  const size_t beta = std::min(num_buckets, data.size());
+  return MaxDiffFromRanked(data, beta,
+                           TopGapPositions(data, beta > 0 ? beta - 1 : 0));
+}
 
-  // Positions 1..n-1 are possible boundaries; score = |data[i] - data[i-1]|.
-  std::vector<uint64_t> positions(n - 1);
-  std::iota(positions.begin(), positions.end(), 1);
-  std::nth_element(
-      positions.begin(), positions.begin() + (beta - 2), positions.end(),
-      [&](uint64_t a, uint64_t b) {
-        double da = std::abs(static_cast<double>(data[a]) -
-                             static_cast<double>(data[a - 1]));
-        double db = std::abs(static_cast<double>(data[b]) -
-                             static_cast<double>(data[b - 1]));
-        if (da != db) return da > db;
-        return a < b;  // deterministic tie-break
-      });
-  std::vector<uint64_t> boundaries(positions.begin(),
-                                   positions.begin() + (beta - 1));
-  std::sort(boundaries.begin(), boundaries.end());
-  return Histogram::FromBoundaries(data, std::move(boundaries));
+Result<Histogram> BuildMaxDiff(const DistributionStats& stats,
+                               size_t num_buckets) {
+  return BuildMaxDiff(stats.data(), num_buckets);
+}
+
+Result<std::vector<Histogram>> BuildMaxDiffSweep(
+    const DistributionStats& stats, const std::vector<size_t>& betas) {
+  if (stats.n() == 0) return Status::InvalidArgument("empty histogram domain");
+  for (size_t b : betas) {
+    if (b == 0) return Status::InvalidArgument("need >= 1 bucket");
+  }
+  const size_t n = stats.n();
+  size_t max_beta = 1;
+  for (size_t b : betas) max_beta = std::max(max_beta, std::min(b, n));
+  // One ranked selection for the largest β serves every smaller β as a
+  // prefix (the selection order is total, so top-j is a prefix of top-k).
+  const std::vector<uint64_t> ranked =
+      TopGapPositions(stats.data(), max_beta - 1);
+  std::vector<Histogram> out;
+  out.reserve(betas.size());
+  for (size_t b : betas) {
+    auto h = MaxDiffFromRanked(stats.data(), std::min(b, n), ranked);
+    if (!h.ok()) return h.status();
+    out.push_back(std::move(*h));
+  }
+  return out;
 }
 
 }  // namespace pathest

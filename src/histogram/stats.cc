@@ -1,0 +1,75 @@
+#include "histogram/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pathest {
+
+DistributionStats::DistributionStats(const std::vector<uint64_t>& data)
+    : data_(&data),
+      prefix_sum_(data.size() + 1, 0.0),
+      prefix_sumsq_(data.size() + 1, 0.0) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    const double v = static_cast<double>(data[i]);
+    prefix_sum_[i + 1] = prefix_sum_[i] + v;
+    prefix_sumsq_[i + 1] = prefix_sumsq_[i] + v * v;
+    max_value_ = std::max(max_value_, data[i]);
+  }
+}
+
+size_t DistributionStats::LowerBoundMass(double mass) const {
+  auto it = std::lower_bound(prefix_sum_.begin(), prefix_sum_.end(), mass);
+  if (it == prefix_sum_.end()) return n();
+  return static_cast<size_t>(it - prefix_sum_.begin());
+}
+
+std::vector<uint64_t> TopFrequencyPositions(const std::vector<uint64_t>& data,
+                                            size_t k) {
+  const size_t n = data.size();
+  k = std::min(k, n);
+  if (k == 0) return {};
+  auto ranks_before = [&](uint64_t a, uint64_t b) {
+    if (data[a] != data[b]) return data[a] > data[b];
+    return a < b;
+  };
+  std::vector<uint64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  if (k < n) {
+    std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                     ranks_before);
+    order.resize(k);
+  }
+  // Ranked order gives the prefix property the sweep relies on.
+  std::sort(order.begin(), order.end(), ranks_before);
+  return order;
+}
+
+std::vector<uint64_t> TopGapPositions(const std::vector<uint64_t>& data,
+                                      size_t k) {
+  const size_t n = data.size();
+  if (n < 2) return {};
+  k = std::min(k, n - 1);
+  if (k == 0) return {};
+  auto gap = [&](uint64_t p) {
+    return std::abs(static_cast<double>(data[p]) -
+                    static_cast<double>(data[p - 1]));
+  };
+  auto ranks_before = [&](uint64_t a, uint64_t b) {
+    const double ga = gap(a);
+    const double gb = gap(b);
+    if (ga != gb) return ga > gb;
+    return a < b;
+  };
+  std::vector<uint64_t> positions(n - 1);
+  std::iota(positions.begin(), positions.end(), 1);
+  if (k < n - 1) {
+    std::nth_element(positions.begin(), positions.begin() + (k - 1),
+                     positions.end(), ranks_before);
+    positions.resize(k);
+  }
+  std::sort(positions.begin(), positions.end(), ranks_before);
+  return positions;
+}
+
+}  // namespace pathest

@@ -1,0 +1,112 @@
+// pathest: shared distribution statistics — the histogram engine's
+// workspace.
+//
+// A histogram grid (ordering × β sweep, the paper's Figure 2 / Table 4
+// experiments) rebuilds many histograms over the SAME frequency sequence.
+// Every builder needs the same aggregates of that sequence, so computing
+// them per (ordering, β) cell is pure waste. A DistributionStats is built
+// once per distribution (O(n)) and handed to every builder and to the
+// multi-β sweep API (histogram/builders.h):
+//
+//   * prefix sums of counts and squared counts — any range sum, mean, or
+//     SSE is an O(1) lookup (RangeSse), which is what the exact V-optimal
+//     DP and the greedy-merge seeding consume;
+//   * total mass + binary search on the prefix-mass array — equi-depth
+//     boundary construction becomes O(β log n) (LowerBoundMass);
+//   * ranked top-k selections over frequencies and adjacent gaps
+//     (TopFrequencyPositions / TopGapPositions, free functions) — maxdiff
+//     and end-biased pick their cut candidates via nth_element, and the
+//     ranked prefix property lets ONE selection serve every β of a sweep.
+//
+// The stats reference (do not copy) the caller's data vector; the vector
+// must outlive the stats and must not be mutated while they are in use.
+
+#ifndef PATHEST_HISTOGRAM_STATS_H_
+#define PATHEST_HISTOGRAM_STATS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathest {
+
+/// \brief Precomputed aggregates of one frequency sequence, shared by every
+/// histogram builder of a sweep.
+class DistributionStats {
+ public:
+  /// \brief O(n) construction. Keeps a reference to `data`; see file
+  /// comment for the lifetime contract.
+  explicit DistributionStats(const std::vector<uint64_t>& data);
+
+  /// \brief Domain size n.
+  size_t n() const { return data_->size(); }
+
+  /// \brief The backing frequency sequence.
+  const std::vector<uint64_t>& data() const { return *data_; }
+
+  /// \brief Total frequency mass (= PrefixSum(n)).
+  double total() const { return prefix_sum_.back(); }
+
+  /// \brief Largest frequency in the sequence.
+  uint64_t max_value() const { return max_value_; }
+
+  /// \brief Sum of data[0, i). `i <= n`.
+  double PrefixSum(size_t i) const { return prefix_sum_[i]; }
+
+  /// \brief Sum of data[begin, end). O(1).
+  double RangeSum(size_t begin, size_t end) const {
+    return prefix_sum_[end] - prefix_sum_[begin];
+  }
+
+  /// \brief Sum of squared frequencies over data[begin, end). O(1).
+  double RangeSumSq(size_t begin, size_t end) const {
+    return prefix_sumsq_[end] - prefix_sumsq_[begin];
+  }
+
+  /// \brief Within-range SSE around the range mean (the V-optimal bucket
+  /// cost). O(1); 0 for an empty range. Clamped at 0: the algebraic value
+  /// is non-negative, but floating-point cancellation of ss - s²/w can dip
+  /// below it, and the exact-DP pruning (v_optimal.cc) relies on SSE being
+  /// a sound non-negative lower bound.
+  double RangeSse(size_t begin, size_t end) const {
+    if (begin == end) return 0.0;
+    const double s = RangeSum(begin, end);
+    const double ss = RangeSumSq(begin, end);
+    const double w = static_cast<double>(end - begin);
+    return std::max(0.0, ss - (s * s) / w);
+  }
+
+  /// \brief Smallest position p in [0, n] with PrefixSum(p) >= mass
+  /// (n when even the full mass falls short). O(log n) — the equi-depth
+  /// boundary search.
+  size_t LowerBoundMass(double mass) const;
+
+  /// \brief The raw prefix-sum array (n + 1 entries, prefix_sums()[i] =
+  /// PrefixSum(i)), for builders that binary-search it directly.
+  const std::vector<double>& prefix_sums() const { return prefix_sum_; }
+
+ private:
+  const std::vector<uint64_t>* data_;
+  std::vector<double> prefix_sum_;    // n + 1 entries
+  std::vector<double> prefix_sumsq_;  // n + 1 entries
+  uint64_t max_value_ = 0;
+};
+
+/// \brief Positions of the k largest frequencies under the total order
+/// (frequency desc, position asc), returned in that ranked order. Because
+/// the order is total, the first j entries are exactly the top-j selection
+/// for EVERY j <= k — one call serves a whole β sweep (end-biased).
+/// k is clamped to n. O(n + k log k) via nth_element.
+std::vector<uint64_t> TopFrequencyPositions(const std::vector<uint64_t>& data,
+                                            size_t k);
+
+/// \brief Boundary positions p in [1, n) of the k largest adjacent gaps
+/// |data[p] - data[p-1]| under (gap desc, position asc), in ranked order
+/// with the same prefix property (maxdiff). k is clamped to n - 1.
+std::vector<uint64_t> TopGapPositions(const std::vector<uint64_t>& data,
+                                      size_t k);
+
+}  // namespace pathest
+
+#endif  // PATHEST_HISTOGRAM_STATS_H_

@@ -154,6 +154,32 @@ TEST(VOptimalExactTest, MatchesBruteForce) {
           << "seed " << seed << " beta " << beta;
     }
   }
+  // Slightly larger domains exercise the Hirschberg recursion (both the
+  // forward and backward rows) through several levels.
+  for (uint64_t seed : {5ULL, 6ULL}) {
+    auto data = RandomData(16, seed, 30);
+    for (size_t beta : {5u, 6u, 7u, 15u, 16u}) {
+      auto h = BuildVOptimalExact(data, beta);
+      ASSERT_TRUE(h.ok());
+      ExpectValidPartition(*h, data.size(), beta);
+      double brute = BruteVOptimalSse(data, beta);
+      EXPECT_NEAR(h->TotalSse(), brute, 1e-6)
+          << "seed " << seed << " beta " << beta;
+    }
+  }
+}
+
+TEST(VOptimalExactTest, DefaultCeilingAllowsMidSizeDomains) {
+  // The pruned-scan + Hirschberg DP raised the default max_n from 4096 to
+  // 16384; a 5000-value domain that the seed implementation refused now
+  // builds, and the result is never worse than the greedy approximation.
+  auto data = RandomData(5000, 17, 100);
+  auto exact = BuildVOptimalExact(data, 16);
+  ASSERT_TRUE(exact.ok());
+  ExpectValidPartition(*exact, data.size(), 16);
+  auto greedy = BuildVOptimalGreedy(data, 16);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_LE(exact->TotalSse(), greedy->TotalSse() + 1e-6);
 }
 
 TEST(VOptimalExactTest, PerfectFitWhenBetaCoversSteps) {
