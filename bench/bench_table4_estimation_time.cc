@@ -7,6 +7,13 @@
 // microseconds per query), but the SHAPE must match — sum-based estimation
 // is slower than the closed-form orderings because its ranking function
 // walks the three-stage combinatorial partitioning.
+//
+// Measured on the SERVING fast path (core/estimator.h: type-tagged scratch
+// Rank + flat SoA bucket lookup) — the per-query cost a deployed estimator
+// pays. The legacy virtual path is measured against it by
+// bench_micro_estimation. The est_bytes column is the serving-resident
+// footprint of each row's estimator (flat bucket index; identical across
+// orderings at equal beta).
 
 #include <cstdio>
 #include <utility>
@@ -41,6 +48,7 @@ int Run() {
 
   std::vector<std::string> header = {"beta"};
   for (const std::string& name : PaperOrderingNames()) header.push_back(name);
+  header.push_back("est_bytes");
   ReportTable table(header);
 
   // The whole grid in one call: per ordering, ONE greedy-merge run builds
@@ -59,6 +67,7 @@ int Run() {
       row.push_back(FormatDouble(
           (*grid)[o * betas.size() + b].avg_estimate_us, 4));
     }
+    row.push_back(std::to_string((*grid)[b].estimator_bytes));
     table.AddRow(std::move(row));
   }
   std::printf("%s\n", table.ToString().c_str());

@@ -8,9 +8,14 @@
 //   pathest_cli generate <dataset> <out.graph> [scale] [seed]
 //   pathest_cli stats <graph-file>
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
-//   pathest_cli estimate <stats-file> <path> [<path> ...]
+//   pathest_cli estimate <stats-file> [<path> ...]
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
 //   pathest_cli orderings
+//
+// estimate answers queries through the serving facade (core/estimator.h:
+// scratch fast-path ranking + flat bucket lookup, one EstimateBatch call
+// for the whole workload). Paths come from the command line, or — when none
+// are given — from stdin, one label path (a/b/c) per line.
 //
 // --threads N controls the parallel selectivity engine (the dominant cost
 // of analyze/accuracy): N worker threads, 0 = one per hardware core (the
@@ -24,10 +29,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/error.h"
+#include "core/estimator.h"
 #include "core/experiment.h"
 #include "core/serialize.h"
 #include "gen/datasets.h"
@@ -67,7 +74,8 @@ int Usage() {
       "  pathest_cli generate <dataset> <out.graph> [scale] [seed]\n"
       "  pathest_cli stats <graph-file>\n"
       "  pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>\n"
-      "  pathest_cli estimate <stats-file> <path> [<path> ...]\n"
+      "  pathest_cli estimate <stats-file> [<path> ...]\n"
+      "      (no paths: read one label path per stdin line)\n"
       "  pathest_cli accuracy <graph-file> <k> <ordering> <beta>\n"
       "  pathest_cli orderings\n"
       "datasets: moreno dbpedia snap-er snap-ff\n"
@@ -126,23 +134,50 @@ int CmdAnalyze(const std::vector<std::string>& args) {
 }
 
 int CmdEstimate(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Usage();
+  if (args.empty()) return Usage();
   auto loaded = LoadPathHistogram(args[0]);
   if (!loaded.ok()) return Fail(loaded.status());
   std::printf("%s\n", loaded->estimator.Describe().c_str());
-  for (size_t i = 1; i < args.size(); ++i) {
-    auto path = LabelPath::Parse(args[i], loaded->labels);
+
+  // Queries come from the remaining arguments, or — with none — one label
+  // path per stdin line (the batch-serving mode).
+  std::vector<std::string> queries(args.begin() + 1, args.end());
+  if (queries.empty()) {
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (!line.empty()) queries.push_back(line);
+    }
+  }
+  if (queries.empty()) return Usage();
+
+  // Everything goes through the serving facade: parse the whole workload,
+  // answer it with one EstimateBatch call, then print in input order.
+  Estimator serving(loaded->estimator);
+  std::vector<LabelPath> paths;
+  std::vector<size_t> path_of_query(queries.size(), SIZE_MAX);
+  std::vector<std::string> errors(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto path = LabelPath::Parse(queries[i], loaded->labels);
     if (!path.ok()) {
-      std::printf("%-30s  <%s>\n", args[i].c_str(),
-                  path.status().ToString().c_str());
+      errors[i] = path.status().ToString();
       continue;
     }
-    if (!loaded->estimator.ordering().space().Contains(*path)) {
-      std::printf("%-30s  <outside analyzed space>\n", args[i].c_str());
+    if (!serving.ordering().space().Contains(*path)) {
+      errors[i] = "outside analyzed space";
       continue;
     }
-    std::printf("%-30s  e = %.2f\n", args[i].c_str(),
-                loaded->estimator.Estimate(*path));
+    path_of_query[i] = paths.size();
+    paths.push_back(*path);
+  }
+  std::vector<double> estimates(paths.size());
+  serving.EstimateBatch(paths, estimates);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (path_of_query[i] == SIZE_MAX) {
+      std::printf("%-30s  <%s>\n", queries[i].c_str(), errors[i].c_str());
+    } else {
+      std::printf("%-30s  e = %.2f\n", queries[i].c_str(),
+                  estimates[path_of_query[i]]);
+    }
   }
   return 0;
 }

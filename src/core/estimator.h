@@ -1,0 +1,135 @@
+// pathest: the query-time serving facade — allocation-free single-path
+// estimation and a batched, thread-safe estimation API over a built
+// PathHistogram.
+//
+// PathHistogram::Estimate is the reference path: a virtual Rank() plus a
+// binary search over the 32-byte diagnostic Bucket array. That is fine for
+// experiments, but a production estimator answers millions of queries per
+// second, where the per-call costs — virtual dispatch, the legacy sum-based
+// allocations, cold bucket cache lines — dominate. Estimator removes them:
+//
+//   * Rank goes through a type-tagged dispatch on Ordering::kind(): the
+//     closed-form orderings (numerical / lexicographic / gray) are called
+//     via their non-virtual inline RankFast bodies, sum-based via its
+//     counts-based scratch fast path, and only the explicit-permutation
+//     baselines stay on the virtual call.
+//   * Bucket lookup goes through the SoA FlatHistogram
+//     (histogram/flat_histogram.h) built once at construction.
+//   * EstimateBatch amortizes everything across a span of queries;
+//     EstimateBatchParallel fans fixed-size chunks out on an engine
+//     ThreadPool with one RankScratch per worker.
+//
+// Every estimate is bit-identical to PathHistogram::Estimate (enforced by
+// tests/estimator_test.cc), and out[i] depends only on paths[i], so the
+// parallel batch is bit-identical to the serial one at any thread count.
+//
+// Thread safety: an Estimator is immutable after construction and safe to
+// share across any number of concurrent readers, each holding its own
+// RankScratch. The source PathHistogram must outlive the Estimator.
+
+#ifndef PATHEST_CORE_ESTIMATOR_H_
+#define PATHEST_CORE_ESTIMATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/path_histogram.h"
+#include "histogram/flat_histogram.h"
+#include "ordering/gray.h"
+#include "ordering/lexicographic.h"
+#include "ordering/numerical.h"
+#include "ordering/ordering.h"
+#include "ordering/sum_based.h"
+
+namespace pathest {
+
+/// \brief Immutable, concurrently-shareable serving facade over a
+/// PathHistogram.
+class Estimator {
+ public:
+  /// \param source built estimator state; borrowed, must outlive this
+  ///   object. The flat bucket index is projected here, once.
+  explicit Estimator(const PathHistogram& source);
+
+  /// \brief Serves a bare (ordering, histogram) pair — the sweep-engine
+  /// path, where one ordering backs many histograms. Both are borrowed and
+  /// must outlive this object; the histogram's domain must equal the
+  /// ordering's |L_k|. source() is unavailable on this form.
+  Estimator(const Ordering& ordering, const Histogram& histogram);
+
+  /// \brief index(ℓ) through the type-tagged fast path. Allocation-free
+  /// once `scratch` is warmed (see the scratch contract in
+  /// ordering/ordering.h); bit-identical to source().ordering().Rank(path).
+  uint64_t Rank(const LabelPath& path, RankScratch& scratch) const {
+    switch (kind_) {
+      case OrderingKind::kNumerical:
+        return static_cast<const NumericalOrdering*>(ordering_)
+            ->RankFast(path);
+      case OrderingKind::kLexicographic:
+        return static_cast<const LexicographicOrdering*>(ordering_)
+            ->RankFast(path);
+      case OrderingKind::kGray:
+        return static_cast<const GrayOrdering*>(ordering_)->RankFast(path);
+      case OrderingKind::kSumBased:
+        return static_cast<const SumBasedOrdering*>(ordering_)
+            ->Rank(path, scratch);
+      case OrderingKind::kGeneric:
+        break;
+    }
+    return ordering_->Rank(path, scratch);
+  }
+
+  /// \brief e(ℓ): fast-path point estimate. Bit-identical to
+  /// source().Estimate(path).
+  double Estimate(const LabelPath& path, RankScratch& scratch) const {
+    return flat_.EstimatePoint(Rank(path, scratch));
+  }
+
+  /// \brief Serial batch estimation: out[i] = e(paths[i]), one internal
+  /// scratch reused across the whole span. paths.size() == out.size().
+  void EstimateBatch(std::span<const LabelPath> paths,
+                     std::span<double> out) const;
+
+  /// \brief Parallel batch estimation on an engine ThreadPool: fixed-size
+  /// chunks of the span are distributed over `num_threads` workers
+  /// (0 = one per hardware core), each with its own pre-warmed RankScratch.
+  /// out[i] is a pure function of paths[i], so the result is bit-identical
+  /// to EstimateBatch at every thread count (test-enforced).
+  void EstimateBatchParallel(std::span<const LabelPath> paths,
+                             std::span<double> out, size_t num_threads) const;
+
+  /// \brief e over an index RANGE of the ordered domain, through the flat
+  /// prefix sums (see FlatHistogram::EstimateRange for the FP caveat vs the
+  /// diagnostic Histogram path).
+  double EstimateIndexRange(uint64_t begin, uint64_t end) const {
+    return flat_.EstimateRange(begin, end);
+  }
+
+  /// \brief Serving-resident footprint in bytes: the flat bucket index (the
+  /// diagnostic Histogram's footprint is source().histogram().ApproxBytes()).
+  size_t ResidentBytes() const { return flat_.ResidentBytes(); }
+
+  /// \brief The backing PathHistogram; only valid for estimators built from
+  /// one.
+  const PathHistogram& source() const {
+    PATHEST_CHECK(source_ != nullptr,
+                  "Estimator was built from a bare ordering + histogram");
+    return *source_;
+  }
+  const FlatHistogram& flat() const { return flat_; }
+  const Ordering& ordering() const { return *ordering_; }
+
+  /// \brief Label-set size to pre-warm external scratches with
+  /// (RankScratch::Reserve).
+  size_t num_labels() const { return ordering_->space().num_labels(); }
+
+ private:
+  const PathHistogram* source_;
+  const Ordering* ordering_;
+  OrderingKind kind_;
+  FlatHistogram flat_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_CORE_ESTIMATOR_H_

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/distribution.h"
+#include "core/estimator.h"
 #include "core/workload.h"
 #include "engine/thread_pool.h"
 #include "histogram/stats.h"
@@ -248,17 +249,21 @@ Result<std::vector<TimingResult>> MeasureTimingSweep(
     auto histograms = BuildHistogramSweep(histogram_type, stats, betas);
     if (!histograms.ok()) return histograms.status();
 
+    RankScratch scratch;
     for (size_t b = 0; b < num_betas; ++b) {
       const Histogram& h = (*histograms)[b];
       TimingResult& cell = grid[o * num_betas + b];
       cell.ordering = (*ordering)->name();
       cell.beta = betas[b];
-      // The same Rank + bucket-lookup pair PathHistogram::Estimate performs.
+      // The serving fast path: type-tagged scratch Rank + flat bucket
+      // lookup (core/estimator.h), i.e. what a deployed estimator pays.
+      const Estimator estimator(**ordering, h);
+      cell.estimator_bytes = estimator.ResidentBytes();
       double sink = 0.0;
       Timer timer;
       for (size_t rep = 0; rep < repetitions; ++rep) {
         for (const LabelPath& path : workload) {
-          sink += h.Estimate((*ordering)->Rank(path));
+          sink += estimator.Estimate(path, scratch);
         }
       }
       const double total_us = timer.ElapsedMicros();

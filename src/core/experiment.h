@@ -116,10 +116,18 @@ struct TimingResult {
   double avg_estimate_us = 0.0;
   /// Number of estimate calls measured.
   uint64_t calls = 0;
+  /// Serving-resident footprint of the estimator answering the cell's
+  /// queries (Estimator::ResidentBytes — the flat bucket index), surfaced
+  /// in the Table 4 report. 0 when the cell was measured on the legacy
+  /// path (MeasureEstimationTime).
+  size_t estimator_bytes = 0;
 };
 
 /// \brief Average per-query estimation time for one (ordering, beta) cell,
-/// replaying every path in L_k `repetitions` times.
+/// replaying every path in L_k `repetitions` times — on the LEGACY path
+/// (virtual Rank + diagnostic bucket binary search,
+/// PathHistogram::Estimate). Kept as the reference the fast path is
+/// measured against (bench/bench_micro_estimation.cc).
 Result<TimingResult> MeasureEstimationTime(const Graph& graph,
                                            const SelectivityMap& selectivities,
                                            const std::string& ordering_name,
@@ -129,8 +137,10 @@ Result<TimingResult> MeasureEstimationTime(const Graph& graph,
 
 /// \brief Batched timing grid — the paper's Table 4 block in one call.
 /// Histograms come from the shared-stats sweep engine (one build pass per
-/// ordering); the estimation replay of each cell is then timed exactly like
-/// MeasureEstimationTime. Row-major like MeasureAccuracySweep.
+/// ordering); the estimation replay of each cell is timed on the SERVING
+/// fast path (core/estimator.h: type-tagged scratch Rank + flat bucket
+/// lookup), which is what a deployed estimator pays per query. Row-major
+/// like MeasureAccuracySweep.
 ///
 /// `num_threads` fans orderings out on an engine ThreadPool; keep the
 /// default 1 when the measured times matter — concurrent rows contend for

@@ -1,0 +1,69 @@
+#include "histogram/flat_histogram.h"
+
+namespace pathest {
+
+namespace {
+
+// Fills eytz[1..n] with the in-order traversal of sorted[0..n): the classic
+// recursive Eytzinger construction, iterative cursor over the sorted array.
+void BuildEytzinger(const std::vector<uint64_t>& sorted, size_t slot,
+                    size_t* cursor, std::vector<uint64_t>* eytz,
+                    std::vector<uint32_t>* rank) {
+  if (slot >= eytz->size()) return;
+  BuildEytzinger(sorted, 2 * slot, cursor, eytz, rank);
+  (*eytz)[slot] = sorted[*cursor];
+  (*rank)[slot] = static_cast<uint32_t>(*cursor);
+  ++(*cursor);
+  BuildEytzinger(sorted, 2 * slot + 1, cursor, eytz, rank);
+}
+
+}  // namespace
+
+FlatHistogram::FlatHistogram(const Histogram& source) {
+  const std::vector<Bucket>& buckets = source.buckets();
+  PATHEST_CHECK(!buckets.empty(), "FlatHistogram needs at least one bucket");
+  domain_size_ = source.domain_size();
+
+  const size_t n = buckets.size();
+  begin_.resize(n);
+  mean_.resize(n);
+  prefix_sum_.resize(n + 1);
+  prefix_sum_[0] = 0.0;
+  for (size_t b = 0; b < n; ++b) {
+    begin_[b] = buckets[b].begin;
+    mean_[b] = buckets[b].Mean();
+    prefix_sum_[b + 1] = prefix_sum_[b] + buckets[b].sum;
+  }
+
+  eytz_begin_.assign(n + 1, 0);
+  eytz_rank_.assign(n + 1, 0);
+  size_t cursor = 0;
+  BuildEytzinger(begin_, 1, &cursor, &eytz_begin_, &eytz_rank_);
+  PATHEST_CHECK(cursor == n, "Eytzinger construction did not consume begins");
+}
+
+double FlatHistogram::EstimateRange(uint64_t begin, uint64_t end) const {
+  PATHEST_CHECK(begin <= end, "range begin must be <= end");
+  PATHEST_CHECK(end <= domain_size_, "range end out of domain");
+  if (begin == end) return 0.0;
+  const size_t first = FindBucket(begin);
+  const size_t last = FindBucket(end - 1);
+  if (first == last) {
+    return mean_[first] * static_cast<double>(end - begin);
+  }
+  // End of bucket b is the begin of bucket b + 1 (or the domain end).
+  const uint64_t first_end = begin_[first + 1];
+  double total = mean_[first] * static_cast<double>(first_end - begin);
+  total += prefix_sum_[last] - prefix_sum_[first + 1];
+  total += mean_[last] * static_cast<double>(end - begin_[last]);
+  return total;
+}
+
+size_t FlatHistogram::ResidentBytes() const {
+  return begin_.size() * sizeof(uint64_t) + mean_.size() * sizeof(double) +
+         prefix_sum_.size() * sizeof(double) +
+         eytz_begin_.size() * sizeof(uint64_t) +
+         eytz_rank_.size() * sizeof(uint32_t);
+}
+
+}  // namespace pathest

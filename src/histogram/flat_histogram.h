@@ -1,0 +1,98 @@
+// pathest: the read-optimized histogram lookup structure of the serving
+// path (core/estimator.h).
+//
+// A Histogram keeps full Bucket records (begin, end, sum, sumsq — 32 bytes)
+// because the BUILD side needs variance diagnostics; the QUERY side only
+// ever reads a boundary and a mean, so an array-of-Bucket lookup drags two
+// dead doubles through the cache per probed element. FlatHistogram is the
+// structure-of-arrays projection built once from a Histogram:
+//
+//   begin_[b]       bucket begins, ascending; begin_[0] == 0
+//   mean_[b]        bucket mean frequency (sum / width, divided once here,
+//                   so point estimates are bit-identical to
+//                   Histogram::Estimate which performs the same division)
+//   prefix_sum_[b]  running sum of bucket frequency-sums over buckets < b
+//                   (β + 1 entries), giving O(1) interior mass for ranges
+//
+// plus an Eytzinger-ordered copy of the boundaries (eytz_begin_) with a
+// slot → sorted-rank map (eytz_rank_). Point lookup descends the implicit
+// tree with a conditional-move candidate update — no unpredictable branch,
+// and ancestors of every leaf share cache lines at the top of the array,
+// unlike the pointer-jumping middle probes of a std::upper_bound over a
+// 32-byte-stride Bucket vector.
+//
+// A FlatHistogram is immutable after construction and safe to share across
+// any number of concurrent readers.
+
+#ifndef PATHEST_HISTOGRAM_FLAT_HISTOGRAM_H_
+#define PATHEST_HISTOGRAM_FLAT_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "histogram/histogram.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Immutable SoA bucket index with branch-light point lookup.
+class FlatHistogram {
+ public:
+  FlatHistogram() = default;
+
+  /// \brief Builds the flat projection of `source` (which keeps ownership of
+  /// the full diagnostic buckets; the two are independent afterwards).
+  explicit FlatHistogram(const Histogram& source);
+
+  size_t num_buckets() const { return begin_.size(); }
+  uint64_t domain_size() const { return domain_size_; }
+
+  /// \brief Bucket-mean estimate at `index` (< domain_size()). Bit-identical
+  /// to Histogram::Estimate on the source histogram.
+  double EstimatePoint(uint64_t index) const {
+    return mean_[FindBucket(index)];
+  }
+
+  /// \brief Estimated SUM of frequencies over [begin, end): exact bucket
+  /// sums for interior buckets (via the prefix array), pro-rata means at the
+  /// boundaries. Mathematically equal to Histogram::EstimateRange but
+  /// associates the additions differently, so equality is up to FP rounding
+  /// (the estimator test bounds the difference).
+  double EstimateRange(uint64_t begin, uint64_t end) const;
+
+  /// \brief Sorted position of the bucket containing `index`
+  /// (< domain_size()).
+  size_t FindBucket(uint64_t index) const {
+    PATHEST_CHECK(index < domain_size_, "estimate index out of range");
+    // Descend the Eytzinger tree tracking the last node whose begin is
+    // <= index (the predecessor). begin_[0] == 0 guarantees a hit.
+    const size_t n = eytz_begin_.size() - 1;  // slots are 1-based
+    size_t k = 1;
+    size_t best = 0;
+    while (k <= n) {
+      const bool le = eytz_begin_[k] <= index;
+      best = le ? k : best;
+      k = 2 * k + static_cast<size_t>(le);
+    }
+    return eytz_rank_[best];
+  }
+
+  /// \brief Bytes resident for serving: the three SoA rows plus the
+  /// Eytzinger index (the "estimator footprint" reported next to
+  /// Histogram::ApproxBytes' diagnostic footprint).
+  size_t ResidentBytes() const;
+
+ private:
+  uint64_t domain_size_ = 0;
+  std::vector<uint64_t> begin_;
+  std::vector<double> mean_;
+  std::vector<double> prefix_sum_;
+  // 1-based implicit-tree layout of begin_; slot 0 unused.
+  std::vector<uint64_t> eytz_begin_;
+  // Slot -> sorted bucket position.
+  std::vector<uint32_t> eytz_rank_;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_HISTOGRAM_FLAT_HISTOGRAM_H_

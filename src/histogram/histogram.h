@@ -5,6 +5,16 @@
 // sum of squares, for variance diagnostics). The point estimate for a domain
 // position is its bucket's mean frequency, the standard uniform-frequency
 // assumption for serial histograms.
+//
+// Histogram is the BUILD/diagnostic representation: an array of full Bucket
+// structs (begin, end, sum, sumsq — 32 bytes each) that builders, SSE
+// accounting, and serialization traffic in. The QUERY side never reads sum
+// or sumsq; the serving path projects a Histogram into the
+// structure-of-arrays FlatHistogram (histogram/flat_histogram.h): begin[] /
+// mean[] / prefix_sum[] rows plus an Eytzinger-ordered boundary index, so a
+// point lookup touches 8-byte boundary entries with cache-resident tree
+// ancestors instead of striding 32-byte Buckets, and the mean division is
+// paid once at build. Point estimates from the two are bit-identical.
 
 #ifndef PATHEST_HISTOGRAM_HISTOGRAM_H_
 #define PATHEST_HISTOGRAM_HISTOGRAM_H_
@@ -73,8 +83,16 @@ class Histogram {
 
   const std::vector<Bucket>& buckets() const { return buckets_; }
 
-  /// \brief Approximate storage footprint: boundary + sum per bucket.
-  size_t ApproxBytes() const { return buckets_.size() * 16; }
+  /// \brief Diagnostic (build-side) storage footprint: the full Bucket
+  /// array this object holds — begin, end, sum, AND sumsq, 32 bytes per
+  /// bucket, which is also what core/serialize.cc writes per bucket. (This
+  /// used to claim 16 bytes/bucket, silently halving every reported size.)
+  /// The ESTIMATOR-resident footprint — what the serving side actually
+  /// keeps per bucket — is FlatHistogram::ResidentBytes()
+  /// (histogram/flat_histogram.h), reported next to this one in the
+  /// Table 4 row so capacity planning can tell the query-path cost from
+  /// the diagnostics cost.
+  size_t ApproxBytes() const { return buckets_.size() * sizeof(Bucket); }
 
  private:
   explicit Histogram(std::vector<Bucket> buckets)

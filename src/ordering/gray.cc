@@ -12,26 +12,7 @@ GrayOrdering::GrayOrdering(PathSpace space, LabelRanking ranking)
 }
 
 uint64_t GrayOrdering::Rank(const LabelPath& path) const {
-  PATHEST_CHECK(space_.Contains(path), "path outside space");
-  const size_t len = path.length();
-  const uint64_t base = space_.num_labels();
-  // Reflected Gray decode, most significant digit first: digit ds selects
-  // the block; odd blocks traverse their sub-block in reverse.
-  uint64_t pow = 1;
-  for (size_t i = 1; i < len; ++i) pow *= base;
-  uint64_t radix = 0;
-  bool reflected = false;
-  for (size_t i = 0; i < len; ++i) {
-    uint64_t digit = ranking_.RankOf(path.label(i)) - 1;
-    // Position of this digit within the current (possibly reflected) block.
-    uint64_t pos = reflected ? base - 1 - digit : digit;
-    radix += pos * pow;
-    // The sub-block of digit d is reversed in the original enumeration iff
-    // d is odd; the visited orientation XORs that with the parent's.
-    if (digit % 2 == 1) reflected = !reflected;
-    pow /= base;
-  }
-  return space_.LengthOffset(len) + radix;
+  return RankFast(path);
 }
 
 LabelPath GrayOrdering::Unrank(uint64_t index) const {

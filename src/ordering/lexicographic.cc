@@ -21,13 +21,7 @@ LexicographicOrdering::LexicographicOrdering(PathSpace space,
 }
 
 uint64_t LexicographicOrdering::Rank(const LabelPath& path) const {
-  PATHEST_CHECK(space_.Contains(path), "path outside space");
-  uint64_t index = path.length() - 1;
-  for (size_t i = 0; i < path.length(); ++i) {
-    uint64_t digit = ranking_.RankOf(path.label(i)) - 1;
-    index += digit * subtree_[i + 1];
-  }
-  return index;
+  return RankFast(path);
 }
 
 LabelPath LexicographicOrdering::Unrank(uint64_t index) const {

@@ -32,6 +32,19 @@ class LexicographicOrdering : public Ordering {
   uint64_t Rank(const LabelPath& path) const override;
   LabelPath Unrank(uint64_t index) const override;
   const PathSpace& space() const override { return space_; }
+  OrderingKind kind() const override { return OrderingKind::kLexicographic; }
+
+  /// \brief Non-virtual Rank body for the estimator's type-tagged dispatch
+  /// (closed-form, O(k), allocation-free).
+  uint64_t RankFast(const LabelPath& path) const {
+    PATHEST_CHECK(space_.Contains(path), "path outside space");
+    uint64_t index = path.length() - 1;
+    for (size_t i = 0; i < path.length(); ++i) {
+      uint64_t digit = ranking_.RankOf(path.label(i)) - 1;
+      index += digit * subtree_[i + 1];
+    }
+    return index;
+  }
 
   const LabelRanking& ranking() const { return ranking_; }
 

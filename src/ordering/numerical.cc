@@ -12,14 +12,7 @@ NumericalOrdering::NumericalOrdering(PathSpace space, LabelRanking ranking)
 }
 
 uint64_t NumericalOrdering::Rank(const LabelPath& path) const {
-  PATHEST_CHECK(space_.Contains(path), "path outside space");
-  const size_t len = path.length();
-  const uint64_t base = space_.num_labels();
-  uint64_t radix = 0;
-  for (size_t i = 0; i < len; ++i) {
-    radix = radix * base + (ranking_.RankOf(path.label(i)) - 1);
-  }
-  return space_.LengthOffset(len) + radix;
+  return RankFast(path);
 }
 
 LabelPath NumericalOrdering::Unrank(uint64_t index) const {

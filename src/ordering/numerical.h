@@ -24,6 +24,21 @@ class NumericalOrdering : public Ordering {
   uint64_t Rank(const LabelPath& path) const override;
   LabelPath Unrank(uint64_t index) const override;
   const PathSpace& space() const override { return space_; }
+  OrderingKind kind() const override { return OrderingKind::kNumerical; }
+
+  /// \brief Non-virtual Rank body, inlined into the estimator's type-tagged
+  /// dispatch (already O(k) and allocation-free; de-virtualizing is the only
+  /// fast-path work needed here).
+  uint64_t RankFast(const LabelPath& path) const {
+    PATHEST_CHECK(space_.Contains(path), "path outside space");
+    const size_t len = path.length();
+    const uint64_t base = space_.num_labels();
+    uint64_t radix = 0;
+    for (size_t i = 0; i < len; ++i) {
+      radix = radix * base + (ranking_.RankOf(path.label(i)) - 1);
+    }
+    return space_.LengthOffset(len) + radix;
+  }
 
   const LabelRanking& ranking() const { return ranking_; }
 

@@ -7,6 +7,22 @@
 //   (ordering/lexicographic.h), sum-based (ordering/sum_based.h),
 //   ideal (ordering/ideal.h), and the L2 composite prototype
 //   (ordering/composite.h). Use ordering/factory.h to construct by name.
+//
+// Query-time fast path — the scratch contract:
+//
+// Rank() is the per-query latency cost a serving estimator pays (the paper's
+// Table 4). The scratch overload Rank(path, RankScratch&) is the fast path:
+// after scratch.Reserve(space().num_labels()) has run once, a call performs
+// ZERO heap allocations and returns a result bit-identical to Rank(path).
+// The scratch is caller-owned so it can be reused across millions of queries
+// (one per thread — a RankScratch must not be shared concurrently; the
+// Ordering itself is immutable after construction and safe to share across
+// any number of reader threads). The base-class default simply forwards to
+// the plain Rank(), which is already allocation-free for every ordering
+// except the legacy sum-based path; SumBasedOrdering overrides it with the
+// counts-based Algorithm-1 core. core/estimator.h adds a type-tagged
+// dispatch over kind() on top, so the closed-form orderings (numerical /
+// lexicographic / gray) are also called without a virtual hop.
 
 #ifndef PATHEST_ORDERING_ORDERING_H_
 #define PATHEST_ORDERING_ORDERING_H_
@@ -14,11 +30,48 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "path/label_path.h"
 #include "path/path_space.h"
 
 namespace pathest {
+
+/// \brief Concrete ordering family, used by the serving estimator to
+/// dispatch Rank without a virtual call (core/estimator.h). kGeneric covers
+/// the explicit-permutation baselines (ideal / random / composite), which
+/// stay on the virtual path.
+enum class OrderingKind {
+  kNumerical,
+  kLexicographic,
+  kGray,
+  kSumBased,
+  kGeneric,
+};
+
+/// \brief Caller-owned reusable buffers for the allocation-free Rank fast
+/// path.
+///
+/// Reserve(num_labels) sizes the buffers once; afterwards every
+/// Rank(path, scratch) call on an ordering over a label set of that size (or
+/// smaller) is heap-allocation-free. `counts` is keyed by base-label rank in
+/// [1, num_labels] and is kept ALL-ZERO between calls — every fast-path user
+/// restores the zeros it wrote before returning, so Reserve never has to
+/// re-clear.
+struct RankScratch {
+  /// Rank-multiset counts, indexed by base-label rank (1-based).
+  std::vector<uint32_t> counts;
+  /// Per-position base-label ranks of the query path.
+  uint32_t ranks[kMaxPathLength];
+  /// The sorted rank multiset (combination) of the query path.
+  uint32_t combo[kMaxPathLength];
+
+  /// \brief Ensures capacity for a label set of `num_labels`. Idempotent;
+  /// only grows (and thus allocates) when the current capacity is smaller.
+  void Reserve(size_t num_labels) {
+    if (counts.size() < num_labels + 1) counts.assign(num_labels + 1, 0u);
+  }
+};
 
 /// \brief Bijection between label paths and histogram-domain indexes.
 ///
@@ -36,11 +89,22 @@ class Ordering {
   /// space().
   virtual uint64_t Rank(const LabelPath& path) const = 0;
 
+  /// \brief Fast-path Rank on caller-owned scratch (see the scratch contract
+  /// in the file header): bit-identical to Rank(path), and allocation-free
+  /// once `scratch` has been Reserve()d for this ordering's label set.
+  virtual uint64_t Rank(const LabelPath& path, RankScratch& scratch) const {
+    (void)scratch;
+    return Rank(path);
+  }
+
   /// \brief The path at domain position `index` (< size()).
   virtual LabelPath Unrank(uint64_t index) const = 0;
 
   /// \brief The underlying path space L_k.
   virtual const PathSpace& space() const = 0;
+
+  /// \brief Family tag for devirtualized dispatch (core/estimator.h).
+  virtual OrderingKind kind() const { return OrderingKind::kGeneric; }
 
   /// \brief Domain size |L_k|.
   uint64_t size() const { return space().size(); }

@@ -65,14 +65,4 @@ LabelRanking LabelRanking::Make(RankingRule rule, const LabelDictionary& dict,
   __builtin_unreachable();
 }
 
-uint32_t LabelRanking::RankOf(LabelId label) const {
-  PATHEST_CHECK(label < rank_of_.size(), "label id out of range");
-  return rank_of_[label];
-}
-
-LabelId LabelRanking::LabelAt(uint32_t rank) const {
-  PATHEST_CHECK(rank >= 1 && rank <= label_at_.size(), "rank out of range");
-  return label_at_[rank - 1];
-}
-
 }  // namespace pathest

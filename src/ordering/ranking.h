@@ -43,11 +43,18 @@ class LabelRanking {
   static LabelRanking Make(RankingRule rule, const LabelDictionary& dict,
                            const std::vector<uint64_t>& cardinalities);
 
-  /// \brief Rank of a label, in [1, size()].
-  uint32_t RankOf(LabelId label) const;
+  /// \brief Rank of a label, in [1, size()]. Inline: this is the innermost
+  /// lookup of every closed-form Rank fast path (see ordering/ordering.h).
+  uint32_t RankOf(LabelId label) const {
+    PATHEST_CHECK(label < rank_of_.size(), "label id out of range");
+    return rank_of_[label];
+  }
 
   /// \brief Label with the given rank (inverse bijection).
-  LabelId LabelAt(uint32_t rank) const;
+  LabelId LabelAt(uint32_t rank) const {
+    PATHEST_CHECK(rank >= 1 && rank <= label_at_.size(), "rank out of range");
+    return label_at_[rank - 1];
+  }
 
   size_t size() const { return rank_of_.size(); }
   RankingRule rule() const { return rule_; }

@@ -28,7 +28,41 @@
 
 namespace pathest {
 
+/// \brief Allocation-free core of Algorithm 1: writes the index-th distinct
+/// permutation of the multiset `combination` into `out`.
+///
+/// Runs on multiset COUNTS instead of rebuilding a `rest` vector per
+/// position: with c_v the remaining multiplicity of value v and
+/// D = prod_w c_w!, the number of permutations starting with v is
+/// (n-1)! * c_v / D (an exact integer), so each position is resolved by one
+/// sweep over the distinct values of `combination` — zero heap allocations.
+///
+/// \param index position in [0, MultisetPermutationCount(combination)).
+/// \param m combination size (and output length).
+/// \param combination the multiset, sorted ascending, size m.
+/// \param counts caller-owned buffer indexed by VALUE; must have capacity
+///   > combination's max value, be all-zero on entry, and is restored to
+///   all-zero on return (the RankScratch invariant, ordering/ordering.h).
+/// \param fact factorial cache covering at least m.
+/// \param out receives the permutation, size m.
+void UnrankPermutationCounts(uint64_t index, size_t m,
+                             const uint32_t* combination, uint32_t* counts,
+                             const FactorialCache& fact, uint32_t* out);
+
+/// \brief Allocation-free core of the inverse of Algorithm 1: the position
+/// of `permutation` among the distinct permutations of `combination`.
+///
+/// Same counts-based scheme and the same buffer contract as
+/// UnrankPermutationCounts; `counts` must additionally have capacity > the
+/// max value of `permutation` (so a foreign permutation is diagnosed, not
+/// read out of bounds).
+uint64_t RankPermutationCounts(const uint32_t* permutation, size_t m,
+                               const uint32_t* combination, uint32_t* counts,
+                               const FactorialCache& fact);
+
 /// \brief Unranking a permutation of a multiset (paper Algorithm 1).
+/// Allocating convenience wrapper over UnrankPermutationCounts; results are
+/// bit-identical.
 ///
 /// \param index position in [0, MultisetPermutationCount(combination)).
 /// \param combination multiset of values, sorted ascending.
@@ -38,7 +72,8 @@ namespace pathest {
 std::vector<uint32_t> UnrankPermutationOfCombination(
     uint64_t index, const std::vector<uint32_t>& combination);
 
-/// \brief Inverse of UnrankPermutationOfCombination.
+/// \brief Inverse of UnrankPermutationOfCombination. Allocating convenience
+/// wrapper over RankPermutationCounts; results are bit-identical.
 ///
 /// \param permutation a permutation of `combination`.
 /// \param combination multiset sorted ascending.
@@ -56,6 +91,17 @@ class SumBasedOrdering : public Ordering {
   uint64_t Rank(const LabelPath& path) const override;
   LabelPath Unrank(uint64_t index) const override;
   const PathSpace& space() const override { return space_; }
+  OrderingKind kind() const override { return OrderingKind::kSumBased; }
+
+  /// \brief The allocation-free fast path (the scratch contract in
+  /// ordering/ordering.h): three table lookups (length offset, O(1)
+  /// stage-two prefix, stage-three block scan) plus the counts-based
+  /// Algorithm-1 core, all on caller-owned buffers. The plain Rank() is a
+  /// thin wrapper over this with a local scratch.
+  uint64_t Rank(const LabelPath& path, RankScratch& scratch) const override;
+
+  /// \brief Scratch-based Unrank twin (non-virtual; Unrank(index) wraps it).
+  LabelPath Unrank(uint64_t index, RankScratch& scratch) const;
 
   const LabelRanking& ranking() const { return ranking_; }
 
@@ -75,12 +121,64 @@ class SumBasedOrdering : public Ordering {
   // materialized once at construction.
   const std::vector<ComboBlock>& BlocksFor(size_t m, uint64_t sr) const;
 
+  // Stage-three offset of the sorted rank multiset `combo` (size m) within
+  // its (m, sr) partition, by linear block scan — shared by the legacy
+  // Rank and the fast path's kNone fallback. Aborts if absent.
+  uint64_t StageThreeOffsetByScan(size_t m, uint64_t sr,
+                                  const uint32_t* combo) const;
+
+  // Key-sorted stage-three index for the fast path: each (m, sr) cell holds
+  // the blocks' combinations encoded as single uint64 keys next to their
+  // offsets and permutation counts, so the fast Rank resolves its multiset
+  // with one O(log #blocks) branchless binary search over 8-byte keys
+  // instead of std::equal-scanning whole partition vectors. Two encodings,
+  // chosen at construction:
+  //   kCounts — the multiplicity vector as a packed number: value v
+  //     occupies key_bits_ bits at position (v - 1) * key_bits_, and a
+  //     query key is built by ADDING 1 << shift per path rank — order-free,
+  //     so the fast path needs no sort at all. Feasible when
+  //     |L| * ceil(log2(k + 1)) <= 64 (multiplicities are at most k).
+  //   kSorted — the sorted combination packed value-by-value. Feasible when
+  //     k * ceil(log2(|L| + 1)) <= 64; costs an insertion sort per query.
+  //   kNone — neither fits a word; the fast path falls back to the legacy
+  //     block scan (spaces that large already strain blocks_ itself).
+  enum class KeyScheme { kNone, kCounts, kSorted };
+
+  struct ComboIndex {
+    std::vector<uint64_t> keys;     // ascending
+    std::vector<uint64_t> offsets;  // offsets[i] belongs to keys[i]
+    std::vector<uint64_t> nops;     // permutation count of keys[i]'s multiset
+  };
+
+  // Encodes a rank multiset (any order) of size m into its lookup key.
+  uint64_t MakeKey(const uint32_t* values, size_t m) const {
+    uint64_t key = 0;
+    if (key_scheme_ == KeyScheme::kCounts) {
+      for (size_t i = 0; i < m; ++i) {
+        key += 1ULL << (static_cast<size_t>(values[i] - 1) * key_bits_);
+      }
+    } else {
+      // kSorted: `values` must be sorted ascending here.
+      for (size_t i = 0; i < m; ++i) {
+        key |= static_cast<uint64_t>(values[i]) << (i * key_bits_);
+      }
+    }
+    return key;
+  }
+
   PathSpace space_;
   LabelRanking ranking_;
   std::string name_;
   CompositionTable comps_;
+  // Factorials 0!..k! for the counts-based Algorithm-1 core; built
+  // (overflow-checked) once at construction.
+  FactorialCache fact_;
   // blocks_[m - 1][sr - m] for sr in [m, m * |L|].
   std::vector<std::vector<std::vector<ComboBlock>>> blocks_;
+  KeyScheme key_scheme_ = KeyScheme::kNone;
+  size_t key_bits_ = 0;  // bits per key field under the chosen scheme
+  // combo_index_[m - 1][sr - m], parallel to blocks_.
+  std::vector<std::vector<ComboIndex>> combo_index_;
 };
 
 }  // namespace pathest

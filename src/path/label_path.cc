@@ -9,11 +9,6 @@ LabelPath::LabelPath(std::initializer_list<LabelId> labels) {
   for (LabelId l : labels) PushBack(l);
 }
 
-LabelId LabelPath::label(size_t i) const {
-  PATHEST_CHECK(i < length_, "label index out of range");
-  return labels_[i];
-}
-
 LabelPath LabelPath::Extend(LabelId next) const {
   LabelPath out = *this;
   out.PushBack(next);

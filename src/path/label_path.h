@@ -35,8 +35,12 @@ class LabelPath {
   size_t length() const { return length_; }
   bool empty() const { return length_ == 0; }
 
-  /// \brief Label at position i (0-based). i must be < length().
-  LabelId label(size_t i) const;
+  /// \brief Label at position i (0-based). i must be < length(). Inline:
+  /// every Rank fast path reads all labels per query.
+  LabelId label(size_t i) const {
+    PATHEST_CHECK(i < length_, "label index out of range");
+    return labels_[i];
+  }
 
   /// \brief Returns a copy extended by one label. Aborts at capacity.
   LabelPath Extend(LabelId next) const;

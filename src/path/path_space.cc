@@ -24,11 +24,6 @@ uint64_t PathSpace::CountWithLength(size_t len) const {
   return offsets_[len + 1] - offsets_[len];
 }
 
-uint64_t PathSpace::LengthOffset(size_t len) const {
-  PATHEST_CHECK(len >= 1 && len <= k_, "length out of range");
-  return offsets_[len];
-}
-
 uint64_t PathSpace::CanonicalIndex(const LabelPath& path) const {
   PATHEST_CHECK(Contains(path), "path outside this space");
   const size_t len = path.length();
@@ -54,14 +49,6 @@ LabelPath PathSpace::CanonicalPath(uint64_t index) const {
     pow /= num_labels_;
   }
   return path;
-}
-
-bool PathSpace::Contains(const LabelPath& path) const {
-  if (path.empty() || path.length() > k_) return false;
-  for (size_t i = 0; i < path.length(); ++i) {
-    if (path.label(i) >= num_labels_) return false;
-  }
-  return true;
 }
 
 void PathSpace::ForEach(const std::function<void(const LabelPath&)>& fn) const {

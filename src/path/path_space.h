@@ -34,8 +34,12 @@ class PathSpace {
   /// \brief Number of paths of exactly `len` labels: |L|^len.
   uint64_t CountWithLength(size_t len) const;
 
-  /// \brief Canonical index of first path with `len` labels.
-  uint64_t LengthOffset(size_t len) const;
+  /// \brief Canonical index of first path with `len` labels. Inline: on the
+  /// Rank fast path of every length-major ordering.
+  uint64_t LengthOffset(size_t len) const {
+    PATHEST_CHECK(len >= 1 && len <= k_, "length out of range");
+    return offsets_[len];
+  }
 
   /// \brief Canonical index of `path`. Path labels must be < num_labels and
   /// length within [1, k].
@@ -44,8 +48,15 @@ class PathSpace {
   /// \brief Inverse of CanonicalIndex. `index` must be < size().
   LabelPath CanonicalPath(uint64_t index) const;
 
-  /// \brief True when `path` belongs to this space.
-  bool Contains(const LabelPath& path) const;
+  /// \brief True when `path` belongs to this space. Inline: every Rank
+  /// implementation checks it per query.
+  bool Contains(const LabelPath& path) const {
+    if (path.empty() || path.length() > k_) return false;
+    for (size_t i = 0; i < path.length(); ++i) {
+      if (path.label(i) >= num_labels_) return false;
+    }
+    return true;
+  }
 
   /// \brief Invokes `fn` for every path in canonical order.
   void ForEach(const std::function<void(const LabelPath&)>& fn) const;

@@ -122,11 +122,19 @@ CompositionTable::CompositionTable(uint64_t num_labels, uint64_t max_len)
     : num_labels_(num_labels), max_len_(max_len) {
   PATHEST_CHECK(num_labels >= 1, "CompositionTable requires >= 1 label");
   rows_.resize(max_len);
+  prefix_.resize(max_len);
   for (uint64_t m = 1; m <= max_len; ++m) {
     auto& row = rows_[m - 1];
     row.resize(m * num_labels - m + 1);
     for (uint64_t sum = m; sum <= m * num_labels; ++sum) {
       row[sum - m] = CompositionCount(sum, m, num_labels);
+    }
+    // Running prefix, overflow-checked: prefix[i] = row[0] + ... + row[i-1].
+    auto& pre = prefix_[m - 1];
+    pre.resize(row.size() + 1);
+    pre[0] = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      pre[i + 1] = CheckedAdd(pre[i], row[i]);
     }
   }
 }
@@ -135,6 +143,20 @@ uint64_t CompositionTable::Count(uint64_t sum, uint64_t m) const {
   if (m == 0 || m > max_len_) return 0;
   if (sum < m || sum > m * num_labels_) return 0;
   return rows_[m - 1][sum - m];
+}
+
+uint64_t CompositionTable::SumForOffset(uint64_t offset, uint64_t m) const {
+  PATHEST_CHECK(m >= 1 && m <= max_len_, "length out of table range");
+  const auto& pre = prefix_[m - 1];
+  PATHEST_CHECK(offset < pre.back(), "offset beyond total composition count");
+  // Largest i with pre[i] <= offset; the partition's sum is then m + i.
+  auto it = std::upper_bound(pre.begin(), pre.end(), offset);
+  return m + static_cast<uint64_t>(it - pre.begin()) - 1;
+}
+
+FactorialCache::FactorialCache(uint64_t max_n) {
+  fact_.resize(max_n + 1);
+  for (uint64_t n = 0; n <= max_n; ++n) fact_[n] = Factorial(n);
 }
 
 }  // namespace pathest

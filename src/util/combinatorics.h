@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace pathest {
 
 /// \brief n! as uint64. Aborts for n > 20 (overflow).
@@ -59,7 +61,11 @@ uint64_t MultisetPermutationCount(const Partition& parts);
 ///
 /// The sum-based (un)ranking functions evaluate CompositionCount for every
 /// (sum, length) pair of a query; this table precomputes all of them for a
-/// fixed label-set size and maximum path length.
+/// fixed label-set size and maximum path length, PLUS the running prefix
+/// sums over each length's row, so the stage-two offset of the sum-based
+/// ordering (sum of all lower summed-rank partition sizes) is a single O(1)
+/// lookup instead of an O(sum) loop per query. The prefix build is
+/// overflow-checked (CheckedAdd).
 class CompositionTable {
  public:
   /// Precomputes counts for all m in [1, max_len], sum in [m, m*num_labels].
@@ -67,6 +73,24 @@ class CompositionTable {
 
   /// \brief CompositionCount(sum, m, num_labels()); 0 outside the table.
   uint64_t Count(uint64_t sum, uint64_t m) const;
+
+  /// \brief Number of compositions of length `m` with sum' in [m, sum) —
+  /// i.e. how many whole stage-two partitions precede summed rank `sum` in
+  /// the sum-based ordering. O(1); inline, it sits on the Rank fast path.
+  /// Saturates: sums past the table's end return the total count for m.
+  uint64_t CumulativeBelow(uint64_t sum, uint64_t m) const {
+    PATHEST_CHECK(m >= 1 && m <= max_len_, "length out of table range");
+    const std::vector<uint64_t>& pre = prefix_[m - 1];
+    if (sum <= m) return 0;
+    const uint64_t i = sum - m;
+    return pre[i < pre.size() ? i : pre.size() - 1];
+  }
+
+  /// \brief Inverse of CumulativeBelow: the unique sum with
+  /// CumulativeBelow(sum, m) <= offset < CumulativeBelow(sum + 1, m), found
+  /// by binary search over the prefix row (O(log(m * num_labels))).
+  /// `offset` must be < the total composition count for length m.
+  uint64_t SumForOffset(uint64_t offset, uint64_t m) const;
 
   uint64_t num_labels() const { return num_labels_; }
   uint64_t max_len() const { return max_len_; }
@@ -76,6 +100,28 @@ class CompositionTable {
   uint64_t max_len_;
   // rows_[m - 1][sum - m] for sum in [m, m * num_labels].
   std::vector<std::vector<uint64_t>> rows_;
+  // prefix_[m - 1][i] = sum of rows_[m - 1][0 .. i); one longer than rows_.
+  std::vector<std::vector<uint64_t>> prefix_;
+};
+
+/// \brief Overflow-checked factorial table for (un)ranking hot paths.
+///
+/// The counts-based Algorithm-1 core evaluates (n-1)! once per path
+/// position; this caches 0!..max_n! at construction (aborting on overflow,
+/// i.e. max_n > 20) so the query path performs no recomputation.
+class FactorialCache {
+ public:
+  explicit FactorialCache(uint64_t max_n);
+
+  uint64_t Fact(uint64_t n) const {
+    PATHEST_CHECK(n < fact_.size(), "FactorialCache index beyond max_n");
+    return fact_[n];
+  }
+
+  uint64_t max_n() const { return fact_.size() - 1; }
+
+ private:
+  std::vector<uint64_t> fact_;
 };
 
 }  // namespace pathest

@@ -171,5 +171,49 @@ TEST(MultisetPermutationCountTest, UnsortedInputAccepted) {
   EXPECT_EQ(MultisetPermutationCount({2, 1, 2, 1}), 6u);
 }
 
+TEST(CompositionTableTest, CumulativeBelowMatchesLinearSum) {
+  CompositionTable table(5, 4);
+  for (uint64_t m = 1; m <= 4; ++m) {
+    uint64_t running = 0;
+    // Sweep past the table's end to exercise the saturating clamp.
+    for (uint64_t sum = m; sum <= 5 * m + 3; ++sum) {
+      EXPECT_EQ(table.CumulativeBelow(sum, m), running)
+          << "m=" << m << " sum=" << sum;
+      running += table.Count(sum, m);
+    }
+    EXPECT_EQ(table.CumulativeBelow(m, m), 0u);
+  }
+}
+
+TEST(CompositionTableTest, SumForOffsetInvertsCumulativeBelow) {
+  CompositionTable table(6, 3);
+  for (uint64_t m = 1; m <= 3; ++m) {
+    uint64_t total = 0;
+    for (uint64_t sum = m; sum <= 6 * m; ++sum) total += table.Count(sum, m);
+    for (uint64_t offset = 0; offset < total; ++offset) {
+      const uint64_t sum = table.SumForOffset(offset, m);
+      EXPECT_LE(table.CumulativeBelow(sum, m), offset);
+      EXPECT_LT(offset, table.CumulativeBelow(sum + 1, m));
+      EXPECT_GT(table.Count(sum, m), 0u);
+    }
+    EXPECT_DEATH(table.SumForOffset(total, m), "beyond total");
+  }
+}
+
+TEST(FactorialCacheTest, MatchesFactorial) {
+  FactorialCache cache(16);
+  EXPECT_EQ(cache.max_n(), 16u);
+  for (uint64_t n = 0; n <= 16; ++n) EXPECT_EQ(cache.Fact(n), Factorial(n));
+}
+
+TEST(FactorialCacheTest, BuildIsOverflowChecked) {
+  EXPECT_DEATH(FactorialCache(21), "overflow");
+}
+
+TEST(FactorialCacheTest, LookupBeyondMaxAborts) {
+  FactorialCache cache(4);
+  EXPECT_DEATH(cache.Fact(5), "beyond max_n");
+}
+
 }  // namespace
 }  // namespace pathest
