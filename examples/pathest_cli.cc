@@ -4,7 +4,8 @@
 // integrating the library.
 //
 // Usage:
-//   pathest_cli [--threads N] [--kernel auto|sparse|dense] <command> ...
+//   pathest_cli [--threads N] [--kernel auto|sparse|dense]
+//               [--strategy fused|per-label] <command> ...
 //   pathest_cli generate <dataset> <out.graph> [scale] [seed]
 //   pathest_cli stats <graph-file>
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
@@ -20,8 +21,13 @@
 // --threads N controls the parallel selectivity engine (the dominant cost
 // of analyze/accuracy): N worker threads, 0 = one per hardware core (the
 // default). --kernel forces the pair-set extension kernel (default: auto,
-// a per-group cost-based choice). Results are bit-identical for every
-// thread count and kernel; both flags only change speed.
+// a per-group cost-based choice); --strategy picks the evaluator
+// decomposition (default: fused — the all-labels kernel with prefix
+// tasks). Results are bit-identical for every thread count, kernel, and
+// strategy; the flags only change speed. All three are validated up
+// front (a malformed value is an error, not a silent fallback), and the
+// commands that build ground truth echo the RESOLVED configuration —
+// including the post-clamp worker count — in their build report line.
 //
 // Runs with no arguments as a self-demo (generates a small moreno-like
 // graph, analyzes it, estimates a few queries) so that it is exercised by
@@ -54,11 +60,29 @@ size_t g_num_threads = 0;
 // Extension-kernel override; set by --kernel (auto = per-group choice).
 PairKernel g_kernel = PairKernel::kAuto;
 
+// Evaluator strategy; set by --strategy (fused = all-labels kernel with
+// depth-2 prefix tasks, per-label = the baseline engine).
+ExtendStrategy g_strategy = ExtendStrategy::kFused;
+
 SelectivityOptions CliSelectivityOptions() {
   SelectivityOptions options;
   options.num_threads = g_num_threads;
   options.kernel = g_kernel;
+  options.strategy = g_strategy;
   return options;
+}
+
+// One-line echo of the RESOLVED build configuration (requested 0 becomes
+// the hardware core count, then clamps to the build's task count), so a
+// clamped or defaulted value is visible instead of silent.
+void PrintBuildConfig(const Graph& graph, size_t k) {
+  SelectivityOptions options = CliSelectivityOptions();
+  std::printf(
+      "selectivity build: threads=%zu (requested %zu), kernel=%s, "
+      "strategy=%s, tasks=%zu\n",
+      ResolvedNumThreads(options, graph.num_labels(), k), g_num_threads,
+      PairKernelName(g_kernel), ExtendStrategyName(g_strategy),
+      SelectivityTaskCount(graph.num_labels(), k, g_strategy));
 }
 
 int Fail(const Status& status) {
@@ -70,7 +94,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  pathest_cli [--threads N] [--kernel K] <command> ...\n"
+      "  pathest_cli [--threads N] [--kernel K] [--strategy S] <command> "
+      "...\n"
       "  pathest_cli generate <dataset> <out.graph> [scale] [seed]\n"
       "  pathest_cli stats <graph-file>\n"
       "  pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>\n"
@@ -82,7 +107,9 @@ int Usage() {
       "--threads N: selectivity worker threads (0 = hardware cores, "
       "default)\n"
       "--kernel K: pair-set extension kernel, auto|sparse|dense "
-      "(auto = per-group cost-based choice, default)\n");
+      "(auto = per-group cost-based choice, default)\n"
+      "--strategy S: evaluator decomposition, fused|per-label "
+      "(fused = all-labels kernel + prefix tasks, default)\n");
   return 2;
 }
 
@@ -118,6 +145,7 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   if (!graph.ok()) return Fail(graph.status());
   size_t k = std::strtoull(args[1].c_str(), nullptr, 10);
   size_t beta = std::strtoull(args[3].c_str(), nullptr, 10);
+  PrintBuildConfig(*graph, k);
   auto truth = ComputeSelectivities(*graph, k, CliSelectivityOptions());
   if (!truth.ok()) return Fail(truth.status());
   auto ordering = MakeOrdering(args[2], *graph, k);
@@ -188,6 +216,7 @@ int CmdAccuracy(const std::vector<std::string>& args) {
   if (!graph.ok()) return Fail(graph.status());
   size_t k = std::strtoull(args[1].c_str(), nullptr, 10);
   size_t beta = std::strtoull(args[3].c_str(), nullptr, 10);
+  PrintBuildConfig(*graph, k);
   auto truth = ComputeSelectivities(*graph, k, CliSelectivityOptions());
   if (!truth.ok()) return Fail(truth.status());
   auto result = MeasureAccuracy(*graph, *truth, args[2], k, beta,
@@ -219,6 +248,7 @@ int SelfDemo() {
               "see --help)\n\n");
   auto graph = BuildDataset(DatasetId::kMorenoHealth, 0.1, 42);
   if (!graph.ok()) return Fail(graph.status());
+  PrintBuildConfig(*graph, 3);
   auto truth = ComputeSelectivities(*graph, 3, CliSelectivityOptions());
   if (!truth.ok()) return Fail(truth.status());
   auto ordering = MakeOrdering("sum-based", *graph, 3);
@@ -243,30 +273,72 @@ int SelfDemo() {
 int main(int argc, char** argv) {
   std::vector<std::string> all(argv + 1, argv + argc);
   // Strip the global flags ("--flag value" or "--flag=value") wherever they
-  // appear.
+  // appear. Every value is validated HERE, before any command runs: a
+  // malformed --threads used to silently parse to 0 (= all hardware cores)
+  // via strtoull.
   std::vector<std::string> rest;
+  bool threads_seen = false;
+  bool kernel_seen = false;
+  bool strategy_seen = false;
+  std::string threads_text;
   std::string kernel_name;
+  std::string strategy_name;
   for (size_t i = 0; i < all.size(); ++i) {
     if (all[i] == "--threads" && i + 1 < all.size()) {
-      g_num_threads = std::strtoull(all[++i].c_str(), nullptr, 10);
+      threads_seen = true;
+      threads_text = all[++i];
     } else if (all[i].rfind("--threads=", 0) == 0) {
-      g_num_threads = std::strtoull(all[i].c_str() + 10, nullptr, 10);
+      threads_seen = true;
+      threads_text = all[i].substr(10);
     } else if (all[i] == "--kernel" && i + 1 < all.size()) {
+      kernel_seen = true;
       kernel_name = all[++i];
     } else if (all[i].rfind("--kernel=", 0) == 0) {
+      kernel_seen = true;
       kernel_name = all[i].substr(9);
+    } else if (all[i] == "--strategy" && i + 1 < all.size()) {
+      strategy_seen = true;
+      strategy_name = all[++i];
+    } else if (all[i].rfind("--strategy=", 0) == 0) {
+      strategy_seen = true;
+      strategy_name = all[i].substr(11);
     } else {
       rest.push_back(all[i]);
     }
   }
-  if (!kernel_name.empty()) {
+  const bool engine_flags_given = threads_seen || kernel_seen || strategy_seen;
+  if (threads_seen) {
+    // An empty or non-numeric value is an error, not a silent default.
+    if (threads_text.empty() ||
+        threads_text.find_first_not_of("0123456789") != std::string::npos) {
+      return Fail(Status::InvalidArgument(
+          "invalid --threads '" + threads_text +
+          "' (expected a non-negative integer; 0 = hardware cores)"));
+    }
+    g_num_threads = std::strtoull(threads_text.c_str(), nullptr, 10);
+  }
+  if (kernel_seen) {
     auto kernel = ParsePairKernel(kernel_name);
     if (!kernel.ok()) return Fail(kernel.status());
     g_kernel = *kernel;
   }
+  if (strategy_seen) {
+    auto strategy = ParseExtendStrategy(strategy_name);
+    if (!strategy.ok()) return Fail(strategy.status());
+    g_strategy = *strategy;
+  }
   if (rest.empty()) return SelfDemo();
   std::string cmd = rest[0];
   std::vector<std::string> args(rest.begin() + 1, rest.end());
+  // The engine flags only matter to commands that compute ground truth;
+  // flag a no-op combination instead of ignoring it silently.
+  if (engine_flags_given && cmd != "analyze" && cmd != "accuracy") {
+    std::fprintf(stderr,
+                 "note: --threads/--kernel/--strategy have no effect on "
+                 "'%s' (they configure the selectivity build of "
+                 "analyze/accuracy)\n",
+                 cmd.c_str());
+  }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "analyze") return CmdAnalyze(args);

@@ -58,13 +58,17 @@ Result<SelectivityBuildResult> MeasureSelectivityBuild(
     if (user_label_time) user_label_time(root, millis);
   };
   const size_t num_threads =
-      ResolvedNumThreads(options, graph.num_labels());
+      ResolvedNumThreads(options, graph.num_labels(), k);
   Timer timer;
   auto map = ComputeSelectivities(graph, k, options);
   const double wall_ms = timer.ElapsedMillis();
   if (!map.ok()) return map.status();
-  return SelectivityBuildResult{k,       num_threads,           options.kernel,
-                                wall_ms, std::move(per_label_ms),
+  return SelectivityBuildResult{k,
+                                num_threads,
+                                options.kernel,
+                                options.strategy,
+                                wall_ms,
+                                std::move(per_label_ms),
                                 std::move(*map)};
 }
 
@@ -82,7 +86,8 @@ ReportTable SelectivityBuildReport(const Graph& graph,
   }
   table.AddRow({"total(wall, " + std::to_string(result.num_threads) +
                     " thread" + (result.num_threads == 1 ? "" : "s") + ", " +
-                    PairKernelName(result.kernel) + " kernel)",
+                    PairKernelName(result.kernel) + " kernel, " +
+                    ExtendStrategyName(result.strategy) + " strategy)",
                 std::to_string(graph.num_edges()),
                 FormatDouble(result.wall_ms, 4), "100"});
   return table;

@@ -1,7 +1,12 @@
 #include "core/serialize.h"
 
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
-#include <sstream>
+#include <iterator>
+#include <string_view>
 
 #include "ordering/factory.h"
 
@@ -69,84 +74,115 @@ Status SavePathHistogram(const PathHistogram& estimator, const Graph& graph,
 }
 
 Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
-  std::string line;
-  if (!std::getline(*in, line) || line != kMagic) {
+  // The file is slurped once and parsed with a cursor over the raw bytes:
+  // integers via std::from_chars, doubles via strtod (hexfloat). The
+  // previous reader paid an istringstream construction plus locale-aware
+  // operator>> extraction per line, which dominated large-beta catalog
+  // loads (see the timing note in serialize.h).
+  std::string content{std::istreambuf_iterator<char>(*in),
+                      std::istreambuf_iterator<char>()};
+  const char* cur = content.data();
+  const char* const end = content.data() + content.size();
+
+  // The magic is a whole line, not a token (it contains a space).
+  const char* nl = std::find(cur, end, '\n');
+  if (std::string_view(cur, static_cast<size_t>(nl - cur)) != kMagic) {
     return Status::IOError("bad magic: expected '" + std::string(kMagic) +
                            "'");
   }
-  auto expect_key = [&](const char* key,
-                        std::istringstream* rest) -> Status {
-    if (!std::getline(*in, line)) {
+  cur = nl == end ? end : nl + 1;
+
+  auto next_token = [&cur, end]() -> std::string_view {
+    while (cur < end && std::isspace(static_cast<unsigned char>(*cur))) ++cur;
+    const char* begin = cur;
+    while (cur < end && !std::isspace(static_cast<unsigned char>(*cur))) ++cur;
+    return {begin, static_cast<size_t>(cur - begin)};
+  };
+  auto expect_key = [&next_token](const char* key) -> Status {
+    const std::string_view tok = next_token();
+    if (tok.empty()) {
       return Status::IOError(std::string("truncated file before '") + key +
                              "'");
     }
-    rest->clear();
-    rest->str(line);
-    std::string actual;
-    (*rest) >> actual;
-    if (actual != key) {
+    if (tok != key) {
       return Status::IOError("expected key '" + std::string(key) +
-                             "', found '" + actual + "'");
+                             "', found '" + std::string(tok) + "'");
     }
     return Status::OK();
   };
+  auto parse_u64 = [&next_token](uint64_t* out) -> bool {
+    const std::string_view tok = next_token();
+    if (tok.empty()) return false;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), *out);
+    return ec == std::errc() && ptr == tok.data() + tok.size();
+  };
+  // Hexfloat ("0x1.8p+4") parsing stays on strtod: std::from_chars's hex
+  // format rejects the "0x" prefix the writer emits. Tokens point into
+  // `content`, which is null-terminated past its last byte, and strtod
+  // stops at the token-ending whitespace on its own.
+  auto parse_double = [&next_token](double* out) -> bool {
+    const std::string_view tok = next_token();
+    if (tok.empty()) return false;
+    char* parse_end = nullptr;
+    *out = std::strtod(tok.data(), &parse_end);
+    return parse_end == tok.data() + tok.size();
+  };
 
-  std::istringstream rest;
-  PATHEST_RETURN_NOT_OK(expect_key("ordering", &rest));
-  std::string ordering_name;
-  rest >> ordering_name;
+  PATHEST_RETURN_NOT_OK(expect_key("ordering"));
+  std::string ordering_name{next_token()};
   if (!IsSerializableOrdering(ordering_name)) {
     return Status::IOError("unknown serialized ordering: " + ordering_name);
   }
 
-  PATHEST_RETURN_NOT_OK(expect_key("type", &rest));
-  std::string type_name;
-  rest >> type_name;
-  auto type = ParseHistogramType(type_name);
+  PATHEST_RETURN_NOT_OK(expect_key("type"));
+  auto type = ParseHistogramType(std::string{next_token()});
   if (!type.ok()) return type.status();
 
-  PATHEST_RETURN_NOT_OK(expect_key("k", &rest));
-  size_t k = 0;
-  rest >> k;
-  if (k < 1 || k > kMaxPathLength) return Status::IOError("bad k");
+  PATHEST_RETURN_NOT_OK(expect_key("k"));
+  uint64_t k = 0;
+  if (!parse_u64(&k) || k < 1 || k > kMaxPathLength) {
+    return Status::IOError("bad k");
+  }
 
-  PATHEST_RETURN_NOT_OK(expect_key("labels", &rest));
-  size_t num_labels = 0;
-  rest >> num_labels;
-  if (num_labels == 0 || num_labels > 4096) {
+  PATHEST_RETURN_NOT_OK(expect_key("labels"));
+  uint64_t num_labels = 0;
+  if (!parse_u64(&num_labels) || num_labels == 0 || num_labels > 4096) {
     return Status::IOError("bad label count");
   }
   LabelDictionary labels;
   for (size_t i = 0; i < num_labels; ++i) {
-    std::string name;
-    if (!(rest >> name)) return Status::IOError("truncated label list");
-    if (labels.Intern(name) != i) {
-      return Status::IOError("duplicate label name: " + name);
+    const std::string_view name = next_token();
+    if (name.empty()) return Status::IOError("truncated label list");
+    if (labels.Intern(std::string{name}) != i) {
+      return Status::IOError("duplicate label name: " + std::string{name});
     }
   }
 
-  PATHEST_RETURN_NOT_OK(expect_key("cardinalities", &rest));
-  std::vector<uint64_t> cards(num_labels);
-  for (auto& f : cards) {
-    if (!(rest >> f)) return Status::IOError("truncated cardinalities");
+  PATHEST_RETURN_NOT_OK(expect_key("cardinalities"));
+  std::vector<uint64_t> cards;
+  cards.reserve(num_labels);
+  for (size_t i = 0; i < num_labels; ++i) {
+    uint64_t f = 0;
+    if (!parse_u64(&f)) return Status::IOError("truncated cardinalities");
+    cards.push_back(f);
   }
 
-  PATHEST_RETURN_NOT_OK(expect_key("buckets", &rest));
-  size_t num_buckets = 0;
-  rest >> num_buckets;
-  if (num_buckets == 0) return Status::IOError("bad bucket count");
-  std::vector<Bucket> buckets(num_buckets);
-  for (auto& b : buckets) {
-    if (!std::getline(*in, line)) return Status::IOError("truncated buckets");
-    std::istringstream bs(line);
-    // std::hexfloat parsing via strtod for portability.
-    std::string sum_tok;
-    std::string sumsq_tok;
-    if (!(bs >> b.begin >> b.end >> sum_tok >> sumsq_tok)) {
-      return Status::IOError("malformed bucket line: " + line);
+  PATHEST_RETURN_NOT_OK(expect_key("buckets"));
+  uint64_t num_buckets = 0;
+  if (!parse_u64(&num_buckets) || num_buckets == 0) {
+    return Status::IOError("bad bucket count");
+  }
+  std::vector<Bucket> buckets;
+  buckets.reserve(num_buckets);
+  for (size_t i = 0; i < num_buckets; ++i) {
+    Bucket b;
+    if (!parse_u64(&b.begin) || !parse_u64(&b.end) || !parse_double(&b.sum) ||
+        !parse_double(&b.sumsq)) {
+      return Status::IOError("truncated or malformed bucket " +
+                             std::to_string(i));
     }
-    b.sum = std::strtod(sum_tok.c_str(), nullptr);
-    b.sumsq = std::strtod(sumsq_tok.c_str(), nullptr);
+    buckets.push_back(b);
   }
 
   auto histogram = Histogram::FromBuckets(std::move(buckets));

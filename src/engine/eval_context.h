@@ -36,18 +36,30 @@ struct EvalContext {
   EvalContext(size_t num_vertices, size_t num_labels, size_t k)
       : marker(num_vertices),
         leaf_counter(num_vertices, num_labels),
+        fused(num_vertices, num_labels),
         extend_bits(num_vertices),
         levels(k + 1),
+        blocks(k + 1, std::vector<PairSet>(num_labels)),
         fwd_views(num_labels),
         leaf_counts(num_labels, 0) {}
 
   Marker marker;
   LeafCounter leaf_counter;
+  /// The fused all-labels kernel's scratch (per-label bitsets + emission
+  /// arenas + vertex-major binding); rebound per evaluation scope.
+  FusedExtender fused;
   /// Dense-kernel accumulator for ExtendPairSet; all-zero between uses
   /// (the kernel's drain restores that invariant).
   DynamicBitset extend_bits;
   /// One reusable PairSet per DFS depth (1-based level); levels[0] unused.
+  /// The per-label DFS's working sets; the fused task path uses levels[1]
+  /// and levels[2] for its root/starting sets.
   std::vector<PairSet> levels;
+  /// The fused DFS's per-depth CHILD BLOCKS: blocks[d][l] holds the pair
+  /// set of the depth-d child with last label l, all |L| siblings
+  /// materialized together by one ExtendAll pass. blocks[0..2] unused (the
+  /// task's starting set lives in the shared level-2 block).
+  std::vector<std::vector<PairSet>> blocks;
   /// Hoisted per-label ForwardViews, rebound once per root subtree by
   /// EvaluateRootSubtree — the leaf pass reads them instead of calling
   /// Graph::ForwardView once per (node, label).

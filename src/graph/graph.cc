@@ -46,6 +46,18 @@ Graph::CsrView Graph::ForwardView(LabelId l) const {
   return CsrView{forward_[l].offsets.data(), forward_[l].targets.data()};
 }
 
+Graph::VertexMajorView Graph::VertexMajor() const {
+  PATHEST_CHECK(vm_seg_offsets_.size() == num_vertices_ + 1,
+                "vertex-major adjacency not built");
+  return VertexMajorView{vm_seg_offsets_.data(), vm_seg_labels_.data(),
+                         vm_tgt_offsets_.data(), vm_targets_.data()};
+}
+
+Graph::AdjacencyPlane Graph::AdjacencyBitmaps() const {
+  return AdjacencyPlane{plane_.empty() ? nullptr : plane_.data(),
+                        plane_stride_words_};
+}
+
 uint64_t Graph::LabelCardinality(LabelId l) const {
   PATHEST_CHECK(l < forward_.size(), "label id out of range");
   return forward_[l].targets.size();

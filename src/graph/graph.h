@@ -25,6 +25,11 @@ using VertexId = uint32_t;
 /// Edge-label identifier; dense in [0, num_labels).
 using LabelId = uint32_t;
 
+/// Size cap for the per-(vertex, label) adjacency bitmap plane
+/// (|V|² · |L| / 8 bytes); graphs whose plane would exceed it skip the
+/// materialization and the fused kernel falls back to edge-list loops.
+inline constexpr size_t kAdjacencyPlaneMaxBytes = 32 * 1024 * 1024;
+
 /// \brief One directed labeled edge.
 struct Edge {
   VertexId src;
@@ -100,6 +105,52 @@ class Graph {
   /// \brief Checked-once accessor for CsrView.
   CsrView ForwardView(LabelId l) const;
 
+  /// \brief Borrowed raw view of the vertex-major, label-segmented
+  /// adjacency: all out-edges of one vertex stored contiguously, grouped
+  /// into per-label segments with a per-vertex segment directory.
+  ///
+  /// This is the transpose of the per-label CSR family along the (vertex,
+  /// label) axes, built once at graph construction. Where the per-label CSR
+  /// answers "the l-successors of v" (one random row access per label), this
+  /// view answers "ALL successors of v, split by label" in one sequential
+  /// read — the access pattern of the fused all-labels extension kernel
+  /// (path/pair_set.h FusedExtender), which visits each DFS pair exactly
+  /// once instead of once per label.
+  ///
+  /// Layout: segments of vertex v are seg_offsets[v] .. seg_offsets[v+1]);
+  /// segment s carries label seg_labels[s] and the distinct, ascending
+  /// target run targets[tgt_offsets[s] .. tgt_offsets[s+1]). Only non-empty
+  /// (vertex, label) cells get a segment. Valid while the Graph is alive.
+  struct VertexMajorView {
+    const uint64_t* seg_offsets;  // num_vertices() + 1 entries
+    const LabelId* seg_labels;    // one per segment
+    const uint64_t* tgt_offsets;  // num_segments + 1 entries
+    const VertexId* targets;      // num_edges() entries
+  };
+
+  /// \brief Checked-once accessor for VertexMajorView.
+  VertexMajorView VertexMajor() const;
+
+  /// \brief Borrowed view of the per-(vertex, label) adjacency bitmap
+  /// plane: row (v, l) is a |V|-bit bitmap (stride_words 64-bit words) of
+  /// v's l-successors, at rows + (v * num_labels() + l) * stride_words.
+  ///
+  /// The plane lets the fused kernel's dense cells union a whole adjacency
+  /// row with stride_words word-ORs (vectorizable) instead of one
+  /// bit-RMW per edge — a win whenever a segment carries at least
+  /// ~stride_words/4 edges. It costs |V|² · |L| / 8 bytes, so it is only
+  /// materialized for graphs where that stays under
+  /// kAdjacencyPlaneMaxBytes; `rows` is nullptr otherwise and callers fall
+  /// back to the edge-list loops. Derived data, built once per graph.
+  struct AdjacencyPlane {
+    const uint64_t* rows;  // nullptr when not materialized
+    size_t stride_words;   // ceil(num_vertices / 64)
+  };
+
+  /// \brief Accessor for the adjacency bitmap plane (rows == nullptr when
+  /// the graph was too large to materialize it).
+  AdjacencyPlane AdjacencyBitmaps() const;
+
   /// \brief All edges, materialized in (label, src, dst) order.
   std::vector<Edge> CollectEdges() const;
 
@@ -116,6 +167,19 @@ class Graph {
   LabelDictionary labels_;
   std::vector<Csr> forward_;  // one per label
   std::vector<Csr> reverse_;  // empty unless requested
+
+  // Vertex-major, label-segmented adjacency (VertexMajorView). One extra
+  // copy of the edge targets plus O(segments) directory — the price of the
+  // fused kernel's sequential access pattern, paid once per graph.
+  std::vector<uint64_t> vm_seg_offsets_;  // num_vertices_ + 1
+  std::vector<LabelId> vm_seg_labels_;    // one per non-empty (v, l) cell
+  std::vector<uint64_t> vm_tgt_offsets_;  // segments + 1
+  std::vector<VertexId> vm_targets_;      // num_edges_
+
+  // Adjacency bitmap plane (AdjacencyBitmaps); empty when the graph is too
+  // large for kAdjacencyPlaneMaxBytes.
+  std::vector<uint64_t> plane_;
+  size_t plane_stride_words_ = 0;
 };
 
 }  // namespace pathest

@@ -78,6 +78,57 @@ Result<Graph> GraphBuilder::Build(bool with_reverse) {
     }
   }
 
+  // Vertex-major, label-segmented adjacency: concatenate each vertex's
+  // per-label CSR rows (labels ascending — the rows are already distinct
+  // and sorted). A segment is one non-empty (vertex, label) cell; count
+  // them first so every directory vector is sized exactly once.
+  size_t num_segments = 0;
+  for (size_t l = 0; l < num_labels; ++l) {
+    const std::vector<uint64_t>& offsets = g.forward_[l].offsets;
+    for (VertexId v = 0; v < num_vertices_; ++v) {
+      num_segments += offsets[v] != offsets[v + 1];
+    }
+  }
+  g.vm_seg_offsets_.assign(num_vertices_ + 1, 0);
+  g.vm_seg_labels_.reserve(num_segments);
+  g.vm_tgt_offsets_.reserve(num_segments + 1);
+  g.vm_tgt_offsets_.push_back(0);
+  g.vm_targets_.reserve(edges_.size());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (size_t l = 0; l < num_labels; ++l) {
+      const Graph::Csr& csr = g.forward_[l];
+      const uint64_t begin = csr.offsets[v];
+      const uint64_t end = csr.offsets[v + 1];
+      if (begin == end) continue;
+      g.vm_seg_labels_.push_back(static_cast<LabelId>(l));
+      g.vm_targets_.insert(g.vm_targets_.end(), csr.targets.begin() + begin,
+                           csr.targets.begin() + end);
+      g.vm_tgt_offsets_.push_back(g.vm_targets_.size());
+    }
+    g.vm_seg_offsets_[v + 1] = g.vm_seg_labels_.size();
+  }
+
+  // Adjacency bitmap plane: one |V|-bit row per (vertex, label), for the
+  // fused kernel's word-level row unions. Materialized only while
+  // |V|²·|L|/8 stays under the cap.
+  {
+    const size_t stride = (num_vertices_ + 63) / 64;
+    const size_t max_words = kAdjacencyPlaneMaxBytes / sizeof(uint64_t);
+    // Overflow-proof cap check (the guard exists precisely for huge
+    // graphs, where stride · |V| · |L| would wrap a size_t).
+    if (num_vertices_ > 0 && num_labels > 0 &&
+        stride <= max_words / num_vertices_ / num_labels) {
+      g.plane_stride_words_ = stride;
+      g.plane_.assign(stride * num_vertices_ * num_labels, 0);
+      for (const Edge& e : edges_) {
+        uint64_t* row =
+            g.plane_.data() +
+            (static_cast<size_t>(e.src) * num_labels + e.label) * stride;
+        row[e.dst >> 6] |= uint64_t{1} << (e.dst & 63);
+      }
+    }
+  }
+
   if (with_reverse) {
     auto offsets = CountDegrees(edges_, num_labels, num_vertices_,
                                 [](const Edge& e) { return e.dst; });

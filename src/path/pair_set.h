@@ -164,6 +164,99 @@ class LeafCounter {
   std::vector<uint64_t> dense_threshold_;
 };
 
+/// \brief Fused all-labels extension kernel: joins a parent pair set with
+/// EVERY label in a single pass over its target lists.
+///
+/// The per-label kernels (ExtendPairSet, LeafCounter) re-walk the parent's
+/// target lists once per label, paying |L| random CSR row accesses per
+/// target. This kernel walks each target exactly once and reads its FULL
+/// out-adjacency sequentially from the graph's vertex-major view
+/// (Graph::VertexMajor), dispatching each label segment into a per-label
+/// accumulator:
+///   * dense cells (per-cell DenseGroupThreshold, same rule as the
+///     per-label kernels) accumulate into a per-label DynamicBitset —
+///     segments that carry enough edges union their PRECOMPUTED adjacency
+///     bitmap row (Graph::AdjacencyBitmaps, stride vectorized word-ORs)
+///     instead of one bit-RMW per edge; the bitset is drained per group by
+///     CountAndClear / ExtractAndClear;
+///   * sparse cells deduplicate INLINE through a per-label epoch Marker,
+///     emitting straight into the child builder (or a per-label counter)
+///     with no second pass; when |V|·|L| makes per-label markers too big
+///     they fall back to per-label emission arenas deduplicated by one
+///     shared marker after the pass.
+/// All scratch (bitsets, markers, arenas) is owned by this object and
+/// allocated once, so steady-state extension of |L| children allocates
+/// nothing (arenas keep their high-water capacity).
+///
+/// Determinism: the per-cell kernel choice depends only on the graph and
+/// the parent's group sizes (never on threads or prior scratch), and every
+/// accumulator produces the same distinct sets, so maps computed through
+/// this kernel are bit-identical to the per-label kernels' — test-enforced
+/// by tests/fused_selectivity_test.cc.
+class FusedExtender {
+ public:
+  /// Per-label-marker budget: inline sparse-cell dedup needs |V|·|L| epoch
+  /// words per context; above this many entries the emission-arena
+  /// fallback is used instead.
+  static constexpr size_t kMaxMarkerEntries = 4u << 20;  // 32 MB of epochs
+
+  /// A segment ORs its precomputed bitmap row (stride_words word-ORs)
+  /// instead of its edge list (seg_len bit-RMWs) when
+  /// seg_len * kRowWinFactor >= stride_words — word-ORs vectorize to
+  /// roughly this many per bit-RMW.
+  static constexpr uint64_t kRowWinFactor = 4;
+
+  /// Capacities: reusable for any graph with at most `num_vertices`
+  /// vertices and `num_labels` labels (the EvalContext reuse contract).
+  /// Construction records the capacities only — the scratch itself is
+  /// allocated by the first Bind, so contexts that never run the fused
+  /// strategy pay nothing for it.
+  FusedExtender(size_t num_vertices, size_t num_labels);
+
+  /// \brief Binds the graph (and kernel policy) this extender reads:
+  /// allocates the scratch on first call, caches the vertex-major view
+  /// and adjacency plane, and refreshes the per-label density thresholds.
+  /// Must be called before CountAll / ExtendAll whenever the graph or
+  /// kernel changes; O(|L|) after the first call.
+  void Bind(const Graph& graph, PairKernel kernel);
+
+  /// \brief Fused leaf pass: adds, for each label l, the number of
+  /// distinct (s, u) pairs of parent ⋈ l into counts[l].
+  void CountAll(const PairSet& parent, uint64_t* counts);
+
+  /// \brief Fused interior pass: children[l] = distinct pair set of
+  /// parent ⋈ l, for every label l in one pass. `children` must point to
+  /// at least the bound graph's label count of PairSets; prior contents
+  /// are discarded.
+  void ExtendAll(const PairSet& parent, PairSet* children);
+
+ private:
+  size_t cap_vertices_;
+  size_t cap_labels_;
+  size_t num_labels_ = 0;        // bound graph's label count
+  Graph::VertexMajorView vm_{};  // bound graph's vertex-major adjacency
+  Graph::AdjacencyPlane plane_{};  // bitmap rows (rows == nullptr if absent)
+  Marker marker_{0};             // shared dedup scratch (arena fallback)
+  std::vector<Marker> markers_;  // per-label inline dedup (may be empty)
+  std::vector<DynamicBitset> bits_;          // per label; all-zero between groups
+  std::vector<std::vector<VertexId>> emit_;  // per label arenas (fallback)
+  /// ExtendAll's per-label group-size thresholds: the plain
+  /// DenseGroupThreshold — materialization pays a position-extraction
+  /// drain, so the bitset only wins where it did for the per-label kernel.
+  std::vector<uint64_t> dense_threshold_;
+  /// CountAll's thresholds: with the adjacency plane the drain is a bare
+  /// popcount, so the crossover moves to the row-OR bound (see Bind).
+  std::vector<uint64_t> count_threshold_;
+  /// Slab fast-path bound: groups at least this large have EVERY
+  /// (nonzero-cardinality) label dense under count_threshold_, so CountAll
+  /// ORs each member's whole contiguous plane slab — all |L| rows, no
+  /// segment directory — into slab_ and popcounts per label section.
+  uint64_t slab_threshold_ = UINT64_MAX;
+  std::vector<uint64_t> slab_;               // |L| · stride words, all-zero
+  std::vector<uint64_t> sparse_counts_;      // CountAll inline counters
+  std::vector<size_t> group_before_;         // ExtendAll per-label watermark
+};
+
 /// \brief Builds the level-1 pair set for label `l` directly from the CSR,
 /// in one unchecked ForwardView sweep.
 void InitialPairSet(const Graph& graph, LabelId l, PairSet* out);

@@ -1,6 +1,8 @@
 #include "path/selectivity.h"
 
 #include <algorithm>
+#include <cassert>
+#include <memory>
 #include <mutex>
 #include <utility>
 
@@ -11,6 +13,23 @@
 #include "util/timer.h"
 
 namespace pathest {
+
+const char* ExtendStrategyName(ExtendStrategy strategy) {
+  switch (strategy) {
+    case ExtendStrategy::kPerLabel:
+      return "per-label";
+    case ExtendStrategy::kFused:
+    default:
+      return "fused";
+  }
+}
+
+Result<ExtendStrategy> ParseExtendStrategy(const std::string& name) {
+  if (name == "fused") return ExtendStrategy::kFused;
+  if (name == "per-label") return ExtendStrategy::kPerLabel;
+  return Status::InvalidArgument("unknown strategy '" + name +
+                                 "' (expected fused|per-label)");
+}
 
 SelectivityMap::SelectivityMap(PathSpace space)
     : space_(space), values_(space.size(), 0) {}
@@ -42,6 +61,11 @@ uint64_t SelectivityMap::CountNonZero() const {
 
 namespace {
 
+Status PairLimitExceeded(const LabelPath& path) {
+  return Status::ResourceExhausted(
+      "pair set exceeds max_pairs_per_prefix at path " + path.ToIdString());
+}
+
 struct RootDfs {
   const Graph* graph;
   const SelectivityOptions* options;
@@ -51,46 +75,287 @@ struct RootDfs {
 };
 
 // Recursively evaluates all extensions of `path` (whose pair set is at
-// ctx->levels[path.length()]).
-Status DfsExtend(RootDfs* r, LabelPath* path) {
+// ctx->levels[path.length()]) with the per-label kernels. `radix` is the
+// canonical radix of `path` — the DFS maintains the canonical index
+// incrementally (child = radix * |L| + l, offset by the child length's
+// base) instead of recomputing the O(k) PathSpace::CanonicalIndex at every
+// node; the assert checks agreement with the recomputed index in
+// NDEBUG-off builds.
+Status DfsExtend(RootDfs* r, LabelPath* path, uint64_t radix) {
   const size_t depth = path->length();
   if (depth == r->k) return Status::OK();
   const PairSet& parent = r->ctx->levels[depth];
+  const size_t num_labels = r->graph->num_labels();
+  const PathSpace& space = r->map->space();
+  const uint64_t child_base =
+      space.LengthOffset(depth + 1) + radix * num_labels;
   if (depth + 1 == r->k) {
     // Children are leaves: count all |L| extensions in one fused pass over
     // hoisted scratch (views + counts live in the context — no allocation).
-    const size_t num_labels = r->graph->num_labels();
     uint64_t* counts = r->ctx->leaf_counts.data();
     std::fill_n(counts, num_labels, uint64_t{0});
     r->ctx->leaf_counter.CountExtensions(r->ctx->fwd_views.data(),
                                          r->graph->num_vertices(), num_labels,
                                          parent, r->options->kernel, counts);
     for (LabelId l = 0; l < num_labels; ++l) {
+#ifndef NDEBUG
       path->PushBack(l);
-      r->map->Set(*path, counts[l]);
+      assert(child_base + l == space.CanonicalIndex(*path));
       path->PopBack();
+#endif
+      r->map->SetByCanonicalIndex(child_base + l, counts[l]);
     }
     return Status::OK();
   }
-  for (LabelId l = 0; l < r->graph->num_labels(); ++l) {
+  for (LabelId l = 0; l < num_labels; ++l) {
     PairSet* child = &r->ctx->levels[depth + 1];
     ExtendPairSet(*r->graph, parent, l, &r->ctx->marker, &r->ctx->extend_bits,
                   r->options->kernel, child);
     path->PushBack(l);
-    r->map->Set(*path, child->size());
+    assert(child_base + l == space.CanonicalIndex(*path));
+    r->map->SetByCanonicalIndex(child_base + l, child->size());
     if (r->options->max_pairs_per_prefix != 0 &&
         child->size() > r->options->max_pairs_per_prefix) {
-      return Status::ResourceExhausted(
-          "pair set exceeds max_pairs_per_prefix at path " +
-          path->ToIdString());
+      return PairLimitExceeded(*path);
     }
     if (child->size() > 0) {
-      PATHEST_RETURN_NOT_OK(DfsExtend(r, path));
+      PATHEST_RETURN_NOT_OK(DfsExtend(r, path, radix * num_labels + l));
     }
     // Empty child: all deeper extensions stay zero (already initialized).
     path->PopBack();
   }
   return Status::OK();
+}
+
+struct FusedDfs {
+  const Graph* graph;
+  const SelectivityOptions* options;
+  SelectivityMap* map;
+  EvalContext* ctx;
+  size_t k;
+};
+
+// Recursively evaluates all extensions of `path` (whose non-empty pair set
+// is `parent`) with the fused all-labels kernel: one ExtendAll/CountAll
+// pass materializes or counts ALL |L| children of the node at once, then
+// the interior children are visited depth-first. The canonical index is
+// maintained incrementally exactly as in DfsExtend.
+Status FusedDfsExtend(FusedDfs* r, LabelPath* path, const PairSet& parent,
+                      uint64_t radix) {
+  const size_t depth = path->length();
+  const size_t num_labels = r->graph->num_labels();
+  const PathSpace& space = r->map->space();
+  const uint64_t child_base =
+      space.LengthOffset(depth + 1) + radix * num_labels;
+  if (depth + 1 == r->k) {
+    uint64_t* counts = r->ctx->leaf_counts.data();
+    std::fill_n(counts, num_labels, uint64_t{0});
+    r->ctx->fused.CountAll(parent, counts);
+    for (LabelId l = 0; l < num_labels; ++l) {
+#ifndef NDEBUG
+      path->PushBack(l);
+      assert(child_base + l == space.CanonicalIndex(*path));
+      path->PopBack();
+#endif
+      r->map->SetByCanonicalIndex(child_base + l, counts[l]);
+    }
+    return Status::OK();
+  }
+  // Interior: the whole child block at depth+1 is built in one pass; the
+  // recursion below only ever writes blocks at depth+2 and deeper, so the
+  // block stays intact while its members are visited.
+  PairSet* children = r->ctx->blocks[depth + 1].data();
+  r->ctx->fused.ExtendAll(parent, children);
+  for (LabelId l = 0; l < num_labels; ++l) {
+    const uint64_t child_size = children[l].size();
+    path->PushBack(l);
+    assert(child_base + l == space.CanonicalIndex(*path));
+    r->map->SetByCanonicalIndex(child_base + l, child_size);
+    if (r->options->max_pairs_per_prefix != 0 &&
+        child_size > r->options->max_pairs_per_prefix) {
+      return PairLimitExceeded(*path);
+    }
+    if (child_size > 0) {
+      PATHEST_RETURN_NOT_OK(
+          FusedDfsExtend(r, path, children[l], radix * num_labels + l));
+    }
+    path->PopBack();
+  }
+  return Status::OK();
+}
+
+// The fused-strategy build: a parallel per-root pre-pass (level-1 sets,
+// fused extension into the shared level-2 blocks, exact task weights)
+// followed by the depth-2 prefix tasks (root, l2), dispatched
+// heaviest-first over the pool's atomic work queue so idle workers steal
+// the next-heaviest pending task. Every write target (map slices, level-2
+// block slices, per-root/per-cell status slots) is disjoint; the returned
+// status is the DFS-order-first failure, exactly matching the per-label
+// engine's "lowest failing root's first violation" semantics.
+Result<SelectivityMap> ComputeSelectivitiesFused(
+    const Graph& graph, size_t k, const SelectivityOptions& options) {
+  const size_t num_labels = graph.num_labels();
+  PathSpace space(num_labels, k);
+  SelectivityMap map(space);
+  const size_t num_threads = ResolvedNumThreads(options, num_labels, k);
+  const uint64_t max_pairs = options.max_pairs_per_prefix;
+
+  std::vector<Status> root_status(num_labels);  // level-1 guard violations
+  const size_t num_cells = k >= 3 ? num_labels * num_labels : 0;
+  std::vector<Status> cell_status(num_cells);
+  // Shared level-2 pair sets, one slice of |L| cells per root. Holding the
+  // whole level resident (instead of one branch) is what lets the tasks
+  // start anywhere; total size is the level-2 selectivity mass, and the
+  // max_pairs_per_prefix guard bounds each cell.
+  std::vector<PairSet> level2(num_cells);
+  std::vector<double> root_ms(num_labels, 0.0);
+  std::vector<size_t> root_pending(num_labels, 0);
+  std::mutex callback_mu;  // serializes progress/label_time + accounting
+
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<EvalContext> contexts;
+  if (num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(num_threads);
+    contexts.reserve(pool->num_threads());
+    for (size_t w = 0; w < pool->num_threads(); ++w) {
+      contexts.emplace_back(graph.num_vertices(), num_labels, k);
+    }
+  } else {
+    contexts.emplace_back(graph.num_vertices(), num_labels, k);
+  }
+  // Graph and kernel are fixed for the whole build: bind each worker's
+  // fused extender once instead of per root/task.
+  for (EvalContext& ctx : contexts) ctx.fused.Bind(graph, options.kernel);
+  auto parallel_for = [&](size_t n, const ThreadPool::Task& task) {
+    if (pool != nullptr) {
+      pool->ParallelFor(n, task);
+    } else {
+      for (size_t i = 0; i < n; ++i) task(i, 0);
+    }
+  };
+
+  // Fires the per-root callbacks; callback_mu must be held.
+  auto fire_root_done = [&](size_t root) {
+    if (options.label_time) {
+      options.label_time(static_cast<LabelId>(root), root_ms[root]);
+    }
+    if (options.progress) options.progress(static_cast<LabelId>(root));
+  };
+
+  // ---- Phase A: per-root pre-pass. Builds the level-1 pair set, writes
+  // the length-1 (and, via the fused kernel, length-2) map entries, and
+  // materializes the root's level-2 block — the tasks' starting sets and
+  // their exact weights.
+  auto run_root = [&](size_t root, EvalContext& ctx) {
+    Timer timer;
+    InitialPairSet(graph, static_cast<LabelId>(root), &ctx.levels[1]);
+    const uint64_t level1_size = ctx.levels[1].size();
+    const uint64_t root_index = space.LengthOffset(1) + root;
+    assert(root_index ==
+           space.CanonicalIndex(LabelPath{static_cast<LabelId>(root)}));
+    map.SetByCanonicalIndex(root_index, level1_size);
+    if (max_pairs != 0 && level1_size > max_pairs) {
+      root_status[root] =
+          PairLimitExceeded(LabelPath{static_cast<LabelId>(root)});
+    } else if (k >= 2 && level1_size > 0) {
+      const uint64_t child_base = space.LengthOffset(2) + root * num_labels;
+      if (k == 2) {
+        uint64_t* counts = ctx.leaf_counts.data();
+        std::fill_n(counts, num_labels, uint64_t{0});
+        ctx.fused.CountAll(ctx.levels[1], counts);
+        for (LabelId l = 0; l < num_labels; ++l) {
+          map.SetByCanonicalIndex(child_base + l, counts[l]);
+        }
+      } else {
+        ctx.fused.ExtendAll(ctx.levels[1], &level2[root * num_labels]);
+        for (LabelId l = 0; l < num_labels; ++l) {
+          const uint64_t size = level2[root * num_labels + l].size();
+          map.SetByCanonicalIndex(child_base + l, size);
+          if (max_pairs != 0 && size > max_pairs) {
+            cell_status[root * num_labels + l] = PairLimitExceeded(
+                LabelPath{static_cast<LabelId>(root), l});
+          }
+        }
+      }
+    }
+    root_ms[root] += timer.ElapsedMillis();
+  };
+
+  // Roots are presented heaviest-first by label cardinality (the exact
+  // level-1 pair-set size); presentation order never changes the result.
+  std::vector<uint64_t> root_weights(num_labels);
+  for (size_t root = 0; root < num_labels; ++root) {
+    root_weights[root] = graph.LabelCardinality(static_cast<LabelId>(root));
+  }
+  const std::vector<size_t> root_order = HeaviestFirstOrder(root_weights);
+  parallel_for(num_labels, [&](size_t slot, size_t worker) {
+    run_root(root_order[slot], contexts[worker]);
+  });
+
+  // ---- Task construction: one (root, l2) prefix task per non-empty,
+  // non-violating level-2 cell of a healthy root, heaviest-first by the
+  // cell's exact pair count.
+  std::vector<size_t> tasks;
+  if (k >= 3) {
+    std::vector<uint64_t> weights;
+    for (size_t root = 0; root < num_labels; ++root) {
+      if (!root_status[root].ok()) continue;
+      for (size_t l2 = 0; l2 < num_labels; ++l2) {
+        const size_t cell = root * num_labels + l2;
+        if (!cell_status[cell].ok() || level2[cell].size() == 0) continue;
+        tasks.push_back(cell);
+        weights.push_back(level2[cell].size());
+        ++root_pending[root];
+      }
+    }
+    const std::vector<size_t> order = HeaviestFirstOrder(weights);
+    std::vector<size_t> ordered(tasks.size());
+    for (size_t i = 0; i < tasks.size(); ++i) ordered[i] = tasks[order[i]];
+    tasks = std::move(ordered);
+  }
+
+  // Roots whose subtree finished in the pre-pass (k <= 2, empty or
+  // guard-failed roots, or all cells empty/violating) complete here.
+  if (options.progress || options.label_time) {
+    std::lock_guard<std::mutex> lock(callback_mu);
+    for (size_t root = 0; root < num_labels; ++root) {
+      if (root_pending[root] == 0) fire_root_done(root);
+    }
+  }
+
+  // ---- Phase B: the prefix tasks.
+  auto run_task = [&](size_t cell, EvalContext& ctx) {
+    Timer timer;
+    const size_t root = cell / num_labels;
+    const LabelId l2 = static_cast<LabelId>(cell % num_labels);
+    LabelPath path{static_cast<LabelId>(root), l2};
+    FusedDfs r{&graph, &options, &map, &ctx, k};
+    cell_status[cell] = FusedDfsExtend(&r, &path, level2[cell], cell);
+    level2[cell] = PairSet();  // release the consumed starting set
+    const double ms = timer.ElapsedMillis();
+    std::lock_guard<std::mutex> lock(callback_mu);
+    root_ms[root] += ms;
+    if (--root_pending[root] == 0 &&
+        (options.progress || options.label_time)) {
+      fire_root_done(root);
+    }
+  };
+  parallel_for(tasks.size(), [&](size_t slot, size_t worker) {
+    run_task(tasks[slot], contexts[worker]);
+  });
+
+  // DFS-order-first failure: for each root in ascending order, a level-1
+  // violation precedes its cells'; within a root, cell l2's level-2 check
+  // precedes any failure deeper inside l2's subtree, which precedes cell
+  // l2+1 — exactly the per-label engine's pre-order.
+  for (size_t root = 0; root < num_labels; ++root) {
+    if (!root_status[root].ok()) return std::move(root_status[root]);
+    for (size_t cell = root * num_labels;
+         k >= 3 && cell < (root + 1) * num_labels; ++cell) {
+      if (!cell_status[cell].ok()) return std::move(cell_status[cell]);
+    }
+  }
+  return map;
 }
 
 }  // namespace
@@ -104,25 +369,35 @@ Status EvaluateRootSubtree(const Graph& graph, EvalContext& ctx, LabelId root,
   }
   InitialPairSet(graph, root, &ctx.levels[1]);
   LabelPath path{root};
-  map->Set(path, ctx.levels[1].size());
+  const uint64_t root_index = map->space().LengthOffset(1) + root;
+  assert(root_index == map->space().CanonicalIndex(path));
+  map->SetByCanonicalIndex(root_index, ctx.levels[1].size());
   if (options.max_pairs_per_prefix != 0 &&
       ctx.levels[1].size() > options.max_pairs_per_prefix) {
-    return Status::ResourceExhausted(
-        "pair set exceeds max_pairs_per_prefix at path " + path.ToIdString());
+    return PairLimitExceeded(path);
   }
   if (ctx.levels[1].size() > 0) {
-    PATHEST_RETURN_NOT_OK(DfsExtend(&r, &path));
+    PATHEST_RETURN_NOT_OK(DfsExtend(&r, &path, root));
   }
   return Status::OK();
 }
 
+size_t SelectivityTaskCount(size_t num_labels, size_t k,
+                            ExtendStrategy strategy) {
+  if (strategy == ExtendStrategy::kFused && k >= 3) {
+    return num_labels * num_labels;
+  }
+  return num_labels;
+}
+
 size_t ResolvedNumThreads(const SelectivityOptions& options,
-                          size_t num_labels) {
+                          size_t num_labels, size_t k) {
   const size_t requested = options.num_threads == 0
                                ? ThreadPool::DefaultThreads()
                                : options.num_threads;
-  // Roots are the only unit of fan-out; extra workers would idle.
-  return std::min(requested, num_labels);
+  // Tasks are the unit of fan-out; extra workers would idle.
+  return std::min(requested,
+                  SelectivityTaskCount(num_labels, k, options.strategy));
 }
 
 Result<SelectivityMap> ComputeSelectivities(const Graph& graph, size_t k,
@@ -133,11 +408,14 @@ Result<SelectivityMap> ComputeSelectivities(const Graph& graph, size_t k,
   if (k < 1 || k > kMaxPathLength) {
     return Status::InvalidArgument("k out of range [1, kMaxPathLength]");
   }
+  if (options.strategy == ExtendStrategy::kFused) {
+    return ComputeSelectivitiesFused(graph, k, options);
+  }
   const size_t num_labels = graph.num_labels();
   PathSpace space(num_labels, k);
   SelectivityMap map(space);
 
-  const size_t num_threads = ResolvedNumThreads(options, num_labels);
+  const size_t num_threads = ResolvedNumThreads(options, num_labels, k);
 
   // Each root records its own status; the lowest-id failure is returned so
   // the outcome (map on success, status on failure) never depends on thread

@@ -8,21 +8,29 @@
 // prune their whole subtree, which is what makes k = 6 tractable on sparse
 // data. Only the <= k pair sets on the current DFS branch are resident.
 //
-// Parallelism: the |L| root-label subtrees are independent — they read the
-// same immutable Graph and write DISJOINT slices of the canonical index
-// space (the root label is the most significant radix digit of the
-// canonical index, so each root's paths of each length form one contiguous
-// run). ComputeSelectivities fans the roots out over an engine ThreadPool
-// with one EvalContext per worker; roots are dispatched heaviest-first
-// (by label cardinality, the level-1 pair-set size) so one monster root
-// cannot serialize the tail of the build. The result is bit-identical for
-// every num_threads value.
+// Parallelism: any two distinct label-path PREFIXES root independent
+// subtrees — they read the same immutable Graph and write DISJOINT slices
+// of the canonical index space (a prefix's digits are the most significant
+// radix digits of the canonical index, so its descendants of each length
+// form one contiguous run). The default (fused) strategy decomposes the
+// build into depth-2 prefix tasks (root, l2): a parallel pre-pass builds
+// every root's level-1 pair set and fused-extends it into all |L| level-2
+// sets at once, then the |L|² tasks are dispatched heaviest-first (by their
+// exact level-2 pair-set size) over the engine ThreadPool, whose atomic
+// work queue lets idle workers steal the next-heaviest pending task. The
+// legacy per-label strategy fans out whole root subtrees instead (|L|
+// tasks, weighted by label cardinality). Either way there is one
+// EvalContext per worker and the result is bit-identical for every
+// num_threads value and both strategies.
 //
 // Kernels: each extension step deduplicates successors with either the
 // sparse epoch-marker kernel or the dense bitmap kernel, chosen per
-// (source group, label) by a cost estimate (see path/pair_set.h).
-// SelectivityOptions::kernel can force either kernel for measurement; the
-// contract is that the choice NEVER changes the computed map, only speed.
+// (source group, label) by a cost estimate (see path/pair_set.h). The
+// fused strategy additionally walks each pair ONCE for all labels via the
+// graph's vertex-major view instead of once per label (FusedExtender).
+// SelectivityOptions::kernel / ::strategy can force any combination for
+// measurement; the contract is that the choice NEVER changes the computed
+// map, only speed.
 
 #ifndef PATHEST_PATH_SELECTIVITY_H_
 #define PATHEST_PATH_SELECTIVITY_H_
@@ -38,6 +46,23 @@
 #include "util/status.h"
 
 namespace pathest {
+
+/// \brief Evaluator decomposition + extension strategy.
+enum class ExtendStrategy : uint8_t {
+  /// Fused all-labels extension (vertex-major single pass, FusedExtender)
+  /// with depth-2 prefix-task decomposition. The default.
+  kFused = 0,
+  /// Per-label ExtendPairSet/LeafCounter loops with per-root-label
+  /// decomposition — the pre-fusion engine, kept as the measurable
+  /// baseline and as an independently-derived oracle for the fused path.
+  kPerLabel = 1,
+};
+
+/// \brief Stable lowercase name ("fused" / "per-label").
+const char* ExtendStrategyName(ExtendStrategy strategy);
+
+/// \brief Inverse of ExtendStrategyName; InvalidArgument on unknown names.
+Result<ExtendStrategy> ParseExtendStrategy(const std::string& name);
 
 /// \brief Dense map from every path in L_k to its exact selectivity.
 class SelectivityMap {
@@ -55,6 +80,14 @@ class SelectivityMap {
 
   /// \brief Sets f(ℓ).
   void Set(const LabelPath& path, uint64_t value);
+
+  /// \brief Sets f of the path with the given canonical index. Inline: the
+  /// evaluator's DFS maintains the canonical index incrementally (push =
+  /// radix·|L| + l) and writes one entry per visited path-tree node.
+  void SetByCanonicalIndex(uint64_t index, uint64_t value) {
+    PATHEST_CHECK(index < values_.size(), "canonical index out of range");
+    values_[index] = value;
+  }
 
   /// \brief Sum of all selectivities (diagnostics).
   uint64_t Total() const;
@@ -80,11 +113,33 @@ struct SelectivityOptions {
   /// deterministic and independent of num_threads.
   uint64_t max_pairs_per_prefix = 0;
 
-  /// Number of worker threads for the per-root-label fan-out. 1 (default)
-  /// is fully serial and spawns no threads; 0 means one thread per hardware
+  /// Number of worker threads for the parallel fan-out. 1 (default) is
+  /// fully serial and spawns no threads; 0 means one thread per hardware
   /// core. The computed SelectivityMap is bit-identical for every value:
-  /// each root label's subtree writes a disjoint slice of the map.
+  /// every task writes a disjoint slice of the map. Under the fused
+  /// strategy the unit of fan-out is the depth-2 prefix task (root, l2),
+  /// so useful parallelism reaches |L|² instead of the per-label
+  /// strategy's |L| (see ResolvedNumThreads / SelectivityTaskCount).
   size_t num_threads = 1;
+
+  /// Evaluator strategy (see ExtendStrategy). kFused (default) extends
+  /// each interior DFS node into ALL |L| children in one pass over its
+  /// pair set via the graph's vertex-major adjacency, and decomposes the
+  /// build into depth-2 prefix tasks scheduled heaviest-first by exact
+  /// level-2 pair-set size. kPerLabel is the pre-fusion engine (per-label
+  /// extension loops, per-root decomposition), kept as the measurable
+  /// baseline. Strategy-selection contract: the computed SelectivityMap
+  /// (and, on failure, the returned status) is bit-identical across both
+  /// strategies, every kernel, and every num_threads — only wall time
+  /// differs. Enforced by tests/fused_selectivity_test.cc.
+  ///
+  /// Memory trade-off: for k >= 3 the fused pre-pass keeps the WHOLE
+  /// level-2 layer of pair sets resident (the prefix tasks' starting
+  /// sets; each is freed as its task completes), where the per-label
+  /// engine holds at most k sets per worker. On graphs where the level-2
+  /// selectivity mass is problematic, set max_pairs_per_prefix (which
+  /// bounds every cell) or fall back to kPerLabel.
+  ExtendStrategy strategy = ExtendStrategy::kFused;
 
   /// Extension-kernel selection (see path/pair_set.h). kAuto (default)
   /// decides per (source group, label) cell with an O(1) cost estimate:
@@ -108,22 +163,38 @@ struct SelectivityOptions {
   ///
   /// Thread-safety guarantee: invocations are serialized behind an internal
   /// mutex (shared with `label_time`), so the callback may mutate shared
-  /// state without its own locking. With num_threads > 1 the COMPLETION
-  /// ORDER of roots is unspecified; with num_threads == 1 roots complete in
-  /// ascending label order on the calling thread.
+  /// state without its own locking. The COMPLETION ORDER of roots is
+  /// unspecified, except with num_threads == 1 under the per-label
+  /// strategy, where roots complete in ascending label order on the
+  /// calling thread (the fused strategy dispatches a root's prefix tasks
+  /// heaviest-first even serially, so its completion order follows task
+  /// weights).
   std::function<void(LabelId done_root)> progress;
 
   /// Optional timing sink: receives each root label's subtree evaluation
-  /// wall time, immediately before `progress` fires for that root.
-  /// Serialized behind the same mutex as `progress`.
+  /// time in milliseconds, immediately before `progress` fires for that
+  /// root. Under the per-label strategy this is the subtree's wall time;
+  /// under the fused strategy it is the SUM of the root's pre-pass span
+  /// and its prefix tasks' spans (which may overlap in wall time when
+  /// parallel). Serialized behind the same mutex as `progress`.
   std::function<void(LabelId root, double millis)> label_time;
 };
 
+/// \brief The number of independent work items ComputeSelectivities fans
+/// out for a (num_labels, k, strategy) build: num_labels roots for the
+/// per-label strategy, num_labels² depth-2 prefix tasks for the fused
+/// strategy when k >= 3 (below that there is nothing under the prefixes
+/// and the fan-out stays per-root).
+size_t SelectivityTaskCount(size_t num_labels, size_t k,
+                            ExtendStrategy strategy);
+
 /// \brief The worker count ComputeSelectivities actually uses for
-/// `options` on a graph with `num_labels` labels: 0 resolves to hardware
-/// concurrency, then clamps to num_labels (roots are the unit of fan-out).
+/// `options` on a graph with `num_labels` labels at depth `k`: 0 resolves
+/// to hardware concurrency, then clamps to SelectivityTaskCount (extra
+/// workers would idle). The former min(threads, num_labels) cap applies
+/// only to the per-label strategy; fused builds scale to |L|² workers.
 size_t ResolvedNumThreads(const SelectivityOptions& options,
-                          size_t num_labels);
+                          size_t num_labels, size_t k);
 
 /// \brief Computes f(ℓ) for every ℓ in L_k on `graph`.
 Result<SelectivityMap> ComputeSelectivities(
@@ -134,7 +205,7 @@ Result<SelectivityMap> ComputeSelectivities(
 /// path ℓ in L_k whose FIRST label is `root` into `map`, leaving all other
 /// entries untouched.
 ///
-/// This is the parallel evaluator's unit of work: a pure function of
+/// This is the per-label strategy's unit of work: a pure function of
 /// (graph, ctx, root) whose writes are confined to the root's disjoint
 /// canonical-index slices, making concurrent calls on distinct roots with
 /// distinct contexts race-free. `ctx` must have been built for at least

@@ -60,6 +60,16 @@ class DynamicBitset {
   /// \brief Word-level union: this |= other. Capacities must match.
   void UnionWith(const DynamicBitset& other);
 
+  /// \brief Raw word-level union of an external bitmap row: words_[i] |=
+  /// words[i] for i in [0, n). n must be <= num_words(). The fused
+  /// kernel's row accumulate — a plain loop the compiler vectorizes, so a
+  /// whole adjacency row ORs in at a handful of SIMD ops instead of one
+  /// read-modify-write per edge.
+  void OrWords(const uint64_t* words, size_t n) {
+    uint64_t* w = words_.data();
+    for (size_t i = 0; i < n; ++i) w[i] |= words[i];
+  }
+
   /// \brief Number of set bits.
   uint64_t Count() const;
 

@@ -1,0 +1,271 @@
+// The strategy-selection contract (selectivity.h): the SelectivityMap is
+// bit-identical across strategy ∈ {fused, per-label}, kernel ∈ {auto,
+// sparse, dense}, and num_threads ∈ {1, 2, 4}; the max_pairs_per_prefix
+// abort status is identical too (the fused engine's prefix tasks must
+// reproduce the per-label DFS's first-violation semantics exactly). Also
+// covers the vertex-major view / adjacency-plane backed kernel against the
+// independent EvaluatePathPairs oracle, shallow builds (k = 1, 2) that
+// bypass the prefix tasks, >64-label graphs, task-count resolution, and
+// the once-per-root callback contract under task decomposition.
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "gen/label_assigner.h"
+#include "path/selectivity.h"
+#include "test_util.h"
+
+namespace pathest {
+namespace {
+
+Graph ErdosRenyiGraph(size_t num_vertices, size_t num_edges,
+                      size_t num_labels, uint64_t seed) {
+  UniformLabelAssigner labels(num_labels);
+  ErdosRenyiParams params;
+  params.num_vertices = num_vertices;
+  params.num_edges = num_edges;
+  params.seed = seed;
+  auto g = GenerateErdosRenyi(params, &labels);
+  PATHEST_CHECK(g.ok(), "Erdős–Rényi generation failed");
+  return std::move(g).ValueOrDie();
+}
+
+Graph ForestFireGraph(size_t num_vertices, size_t num_labels, uint64_t seed) {
+  UniformLabelAssigner labels(num_labels);
+  ForestFireParams params;
+  params.num_vertices = num_vertices;
+  params.seed = seed;
+  auto g = GenerateForestFire(params, &labels);
+  PATHEST_CHECK(g.ok(), "forest fire generation failed");
+  return std::move(g).ValueOrDie();
+}
+
+SelectivityMap Compute(const Graph& g, size_t k, ExtendStrategy strategy,
+                       PairKernel kernel, size_t threads) {
+  SelectivityOptions options;
+  options.strategy = strategy;
+  options.kernel = kernel;
+  options.num_threads = threads;
+  auto map = ComputeSelectivities(g, k, options);
+  PATHEST_CHECK(map.ok(), "selectivity computation failed");
+  return std::move(map).ValueOrDie();
+}
+
+// Asserts the full strategy × kernel × threads grid against the per-label
+// sparse serial map.
+void ExpectStrategyInvariance(const Graph& g, size_t k) {
+  const SelectivityMap baseline =
+      Compute(g, k, ExtendStrategy::kPerLabel, PairKernel::kSparse, 1);
+  for (ExtendStrategy strategy :
+       {ExtendStrategy::kFused, ExtendStrategy::kPerLabel}) {
+    for (PairKernel kernel :
+         {PairKernel::kAuto, PairKernel::kSparse, PairKernel::kDense}) {
+      for (size_t threads : {1u, 2u, 4u}) {
+        const SelectivityMap map = Compute(g, k, strategy, kernel, threads);
+        EXPECT_EQ(map.values(), baseline.values())
+            << "strategy=" << ExtendStrategyName(strategy)
+            << " kernel=" << PairKernelName(kernel) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(FusedSelectivityTest, SparseErdosRenyi) {
+  ExpectStrategyInvariance(ErdosRenyiGraph(300, 600, 4, 13), /*k=*/4);
+}
+
+TEST(FusedSelectivityTest, MidDensityErdosRenyi) {
+  ExpectStrategyInvariance(ErdosRenyiGraph(200, 2400, 3, 29), /*k=*/4);
+}
+
+TEST(FusedSelectivityTest, DenseErdosRenyi) {
+  // Near-complete: the leaf cells run the adjacency-plane row unions.
+  ExpectStrategyInvariance(ErdosRenyiGraph(60, 1500, 3, 7), /*k=*/4);
+}
+
+TEST(FusedSelectivityTest, ForestFire) {
+  ExpectStrategyInvariance(ForestFireGraph(350, 5, 17), /*k=*/4);
+}
+
+TEST(FusedSelectivityTest, ShallowBuildsBypassPrefixTasks) {
+  // k = 1 and k = 2 complete entirely in the pre-pass (no prefix tasks);
+  // they must still agree with the per-label engine.
+  const Graph g = ForestFireGraph(250, 4, 99);
+  for (size_t k : {1u, 2u}) {
+    ExpectStrategyInvariance(g, k);
+    EXPECT_EQ(SelectivityTaskCount(g.num_labels(), k, ExtendStrategy::kFused),
+              g.num_labels());
+  }
+}
+
+TEST(FusedSelectivityTest, RandomizedSeedSweep) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    ExpectStrategyInvariance(ErdosRenyiGraph(120, 40 * seed * seed, 4, seed),
+                             /*k=*/3);
+    ExpectStrategyInvariance(ForestFireGraph(100 + 30 * seed, 4, seed),
+                             /*k=*/3);
+  }
+}
+
+TEST(FusedSelectivityTest, AgreesWithIndependentPathOracle) {
+  // EvaluatePathPairs shares no code with the fused kernel (per-label
+  // loops, no vertex-major view, no adjacency plane, no incremental
+  // canonical index) — full-domain agreement pins down both the kernel
+  // and the index bookkeeping.
+  const Graph g = ErdosRenyiGraph(120, 1400, 3, 5);
+  const size_t k = 4;
+  const SelectivityMap fused =
+      Compute(g, k, ExtendStrategy::kFused, PairKernel::kAuto, 2);
+  PathSpace space(g.num_labels(), k);
+  space.ForEach([&](const LabelPath& path) {
+    auto pairs = EvaluatePathPairs(g, path);
+    ASSERT_TRUE(pairs.ok()) << path.ToIdString();
+    EXPECT_EQ(pairs->size(), fused.Get(path)) << path.ToIdString();
+  });
+}
+
+TEST(FusedSelectivityTest, MoreThan64LabelsSupported) {
+  // Wide label sets exercise the per-label marker/bitset arrays well past
+  // the old 64-label bitmask ceiling; k = 3 exercises the |L|² = 4900
+  // prefix tasks.
+  const Graph g = ErdosRenyiGraph(80, 4000, 70, 3);
+  ASSERT_EQ(g.num_labels(), 70u);
+  const SelectivityMap baseline =
+      Compute(g, 2, ExtendStrategy::kPerLabel, PairKernel::kSparse, 1);
+  for (size_t threads : {1u, 4u}) {
+    const SelectivityMap map =
+        Compute(g, 2, ExtendStrategy::kFused, PairKernel::kAuto, threads);
+    EXPECT_EQ(map.values(), baseline.values()) << "threads=" << threads;
+  }
+  const SelectivityMap deep_baseline =
+      Compute(g, 3, ExtendStrategy::kPerLabel, PairKernel::kAuto, 1);
+  const SelectivityMap deep =
+      Compute(g, 3, ExtendStrategy::kFused, PairKernel::kAuto, 4);
+  EXPECT_EQ(deep.values(), deep_baseline.values());
+}
+
+TEST(FusedSelectivityTest, AbortStatusIdenticalAcrossStrategies) {
+  // Level-1 violations surface from the fused pre-pass, level-2 ones from
+  // the cell guard, deeper ones from inside prefix tasks; all three must
+  // reproduce the per-label DFS's first-violation path and message.
+  const Graph g = ErdosRenyiGraph(80, 1200, 3, 5);
+  uint64_t level1_max = 0;
+  uint64_t level2_max = 0;
+  for (LabelId a = 0; a < g.num_labels(); ++a) {
+    auto f1 = EvaluatePathSelectivity(g, LabelPath{a});
+    ASSERT_TRUE(f1.ok());
+    level1_max = std::max(level1_max, *f1);
+    for (LabelId b = 0; b < g.num_labels(); ++b) {
+      auto f2 = EvaluatePathSelectivity(g, LabelPath{a, b});
+      ASSERT_TRUE(f2.ok());
+      level2_max = std::max(level2_max, *f2);
+    }
+  }
+  // Guards tripping at level 1, level 2, and (when the graph densifies
+  // deeper) strictly below level 2. level1_max - 1 and level2_max - 1 must
+  // fail by construction; for each guard the fused engine must reproduce
+  // the per-label outcome exactly, whatever it is.
+  size_t failures_checked = 0;
+  for (uint64_t guard : {level1_max - 1, level1_max, level2_max - 1,
+                         level2_max}) {
+    SelectivityOptions reference_options;
+    reference_options.strategy = ExtendStrategy::kPerLabel;
+    reference_options.num_threads = 1;
+    reference_options.max_pairs_per_prefix = guard;
+    auto reference = ComputeSelectivities(g, 4, reference_options);
+    if (!reference.ok()) {
+      ASSERT_EQ(reference.status().code(), StatusCode::kResourceExhausted);
+      ++failures_checked;
+    }
+    for (size_t threads : {1u, 2u, 4u}) {
+      SelectivityOptions options = reference_options;
+      options.strategy = ExtendStrategy::kFused;
+      options.num_threads = threads;
+      auto result = ComputeSelectivities(g, 4, options);
+      ASSERT_EQ(result.ok(), reference.ok())
+          << "guard=" << guard << " threads=" << threads;
+      if (!reference.ok()) {
+        EXPECT_EQ(result.status().ToString(), reference.status().ToString())
+            << "guard=" << guard << " threads=" << threads;
+      } else {
+        EXPECT_EQ(result->values(), reference->values())
+            << "guard=" << guard << " threads=" << threads;
+      }
+    }
+  }
+  EXPECT_GE(failures_checked, 2u);
+}
+
+TEST(FusedSelectivityTest, TaskCountAndThreadResolution) {
+  EXPECT_EQ(SelectivityTaskCount(6, 4, ExtendStrategy::kFused), 36u);
+  EXPECT_EQ(SelectivityTaskCount(6, 2, ExtendStrategy::kFused), 6u);
+  EXPECT_EQ(SelectivityTaskCount(6, 4, ExtendStrategy::kPerLabel), 6u);
+
+  SelectivityOptions fused;
+  fused.strategy = ExtendStrategy::kFused;
+  fused.num_threads = 64;
+  // The per-label |L| clamp is gone: fused builds scale to |L|² workers.
+  EXPECT_EQ(ResolvedNumThreads(fused, 6, 4), 36u);
+  EXPECT_EQ(ResolvedNumThreads(fused, 6, 2), 6u);
+  fused.num_threads = 8;
+  EXPECT_EQ(ResolvedNumThreads(fused, 6, 4), 8u);
+
+  SelectivityOptions per_label;
+  per_label.strategy = ExtendStrategy::kPerLabel;
+  per_label.num_threads = 64;
+  EXPECT_EQ(ResolvedNumThreads(per_label, 6, 4), 6u);
+}
+
+TEST(FusedSelectivityTest, ThreadCountAboveTaskCountIsClamped) {
+  Graph g = testing_util::SmallGraph();  // 3 labels -> 9 prefix tasks
+  SelectivityOptions options;
+  options.num_threads = 64;  // clamped to |L|² internally
+  auto map = ComputeSelectivities(g, 3, options);
+  ASSERT_TRUE(map.ok());
+  auto baseline = ComputeSelectivities(g, 3);
+  ASSERT_TRUE(baseline.ok());
+  EXPECT_EQ(map->values(), baseline->values());
+}
+
+TEST(FusedSelectivityTest, ProgressAndLabelTimeFireOncePerRoot) {
+  // Under task decomposition a root's subtree spans many tasks, but the
+  // callbacks must still fire exactly once per root (documented contract),
+  // serialized behind the engine's mutex.
+  Graph g = ForestFireGraph(300, 6, 3);
+  for (size_t threads : {1u, 4u}) {
+    SelectivityOptions options;
+    options.strategy = ExtendStrategy::kFused;
+    options.num_threads = threads;
+    std::multiset<LabelId> progress_roots;
+    std::vector<double> times;
+    options.progress = [&](LabelId root) { progress_roots.insert(root); };
+    options.label_time = [&](LabelId, double ms) {
+      EXPECT_GE(ms, 0.0);
+      times.push_back(ms);
+    };
+    auto map = ComputeSelectivities(g, 3, options);
+    ASSERT_TRUE(map.ok());
+    ASSERT_EQ(progress_roots.size(), g.num_labels());
+    for (LabelId l = 0; l < g.num_labels(); ++l) {
+      EXPECT_EQ(progress_roots.count(l), 1u) << "root " << l;
+    }
+    EXPECT_EQ(times.size(), g.num_labels());
+  }
+}
+
+TEST(FusedSelectivityTest, StrategyParseAndNameRoundTrip) {
+  for (ExtendStrategy strategy :
+       {ExtendStrategy::kFused, ExtendStrategy::kPerLabel}) {
+    auto parsed = ParseExtendStrategy(ExtendStrategyName(strategy));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, strategy);
+  }
+  EXPECT_FALSE(ParseExtendStrategy("perlabel").ok());
+  EXPECT_FALSE(ParseExtendStrategy("").ok());
+}
+
+}  // namespace
+}  // namespace pathest

@@ -1,6 +1,8 @@
 // Unit tests for the labeled graph, builder, IO, and stats.
 
+#include <bit>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -162,6 +164,73 @@ TEST(GraphStatsTest, CountsSinks) {
   ASSERT_TRUE(g.ok());
   GraphStats stats = ComputeGraphStats(*g);
   EXPECT_EQ(stats.num_sink_vertices, 1u);  // vertex 1
+}
+
+// Cross-checks the vertex-major, label-segmented view against the
+// per-label CSR: every (vertex, label) cell with edges must appear as
+// exactly one segment whose targets equal OutNeighbors, labels ascending
+// within a vertex, with no extra segments.
+TEST(GraphTest, VertexMajorViewMatchesPerLabelCsr) {
+  Graph g = testing_util::SmallGraph();
+  const Graph::VertexMajorView vm = g.VertexMajor();
+  size_t segments_seen = 0;
+  uint64_t targets_seen = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    LabelId prev_label = 0;
+    for (uint64_t s = vm.seg_offsets[v]; s < vm.seg_offsets[v + 1]; ++s) {
+      const LabelId l = vm.seg_labels[s];
+      if (s > vm.seg_offsets[v]) EXPECT_LT(prev_label, l) << "v=" << v;
+      prev_label = l;
+      auto expected = g.OutNeighbors(v, l);
+      const uint64_t begin = vm.tgt_offsets[s];
+      const uint64_t end = vm.tgt_offsets[s + 1];
+      ASSERT_EQ(end - begin, expected.size()) << "v=" << v << " l=" << l;
+      for (uint64_t e = begin; e < end; ++e) {
+        EXPECT_EQ(vm.targets[e], expected[e - begin]) << "v=" << v;
+      }
+      ++segments_seen;
+      targets_seen += end - begin;
+    }
+    // No cell with edges may be missing from the directory.
+    for (LabelId l = 0; l < g.num_labels(); ++l) {
+      if (g.OutNeighbors(v, l).empty()) continue;
+      bool found = false;
+      for (uint64_t s = vm.seg_offsets[v]; s < vm.seg_offsets[v + 1]; ++s) {
+        found |= vm.seg_labels[s] == l;
+      }
+      EXPECT_TRUE(found) << "missing segment v=" << v << " l=" << l;
+    }
+  }
+  EXPECT_EQ(targets_seen, g.num_edges());
+  EXPECT_GT(segments_seen, 0u);
+}
+
+TEST(GraphTest, AdjacencyBitmapPlaneMatchesCsr) {
+  Graph g = testing_util::GraphWithCardinalities({{"p", 40}, {"q", 9}});
+  const Graph::AdjacencyPlane plane = g.AdjacencyBitmaps();
+  ASSERT_NE(plane.rows, nullptr);  // small graph: always materialized
+  ASSERT_EQ(plane.stride_words, (g.num_vertices() + 63) / 64);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (LabelId l = 0; l < g.num_labels(); ++l) {
+      const uint64_t* row =
+          plane.rows +
+          (static_cast<size_t>(v) * g.num_labels() + l) * plane.stride_words;
+      std::vector<VertexId> from_row;
+      for (size_t w = 0; w < plane.stride_words; ++w) {
+        uint64_t word = row[w];
+        while (word != 0) {
+          from_row.push_back(static_cast<VertexId>(
+              (w << 6) + static_cast<size_t>(std::countr_zero(word))));
+          word &= word - 1;
+        }
+      }
+      auto expected = g.OutNeighbors(v, l);
+      ASSERT_EQ(from_row.size(), expected.size()) << "v=" << v << " l=" << l;
+      for (size_t i = 0; i < from_row.size(); ++i) {
+        EXPECT_EQ(from_row[i], expected[i]) << "v=" << v << " l=" << l;
+      }
+    }
+  }
 }
 
 TEST(TestUtilTest, GraphWithCardinalitiesIsExact) {
