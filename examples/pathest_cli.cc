@@ -5,13 +5,21 @@
 //
 // Usage:
 //   pathest_cli [--threads N] [--kernel auto|sparse|dense]
-//               [--strategy fused|per-label] <command> ...
+//               [--strategy fused|per-label] [--graph G] <command> ...
 //   pathest_cli generate <dataset> <out.graph> [scale] [seed]
 //   pathest_cli stats <graph-file>
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
 //   pathest_cli estimate <stats-file> [<path> ...]
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
 //   pathest_cli orderings
+//
+// The graph source of stats/analyze/accuracy is the <graph-file>
+// positional, or the global --graph flag standing in for it; either may
+// be "-" to read the edge list from stdin (mirroring estimate's stdin
+// workload mode). Graphs load through the streaming ingest pipeline
+// (chunked from_chars parse + parallel counting-sort build), and the
+// resolved ingest configuration — thread count, chunking, plane kind —
+// is echoed alongside the load, like the selectivity build config.
 //
 // estimate answers queries through the serving facade (core/estimator.h:
 // scratch fast-path ranking + flat bucket lookup, one EstimateBatch call
@@ -64,6 +72,31 @@ PairKernel g_kernel = PairKernel::kAuto;
 // depth-2 prefix tasks, per-label = the baseline engine).
 ExtendStrategy g_strategy = ExtendStrategy::kFused;
 
+// Loads the graph named by `spec` — a file path, or "-" for stdin —
+// through the streaming ingest pipeline, echoing the resolved ingest
+// configuration (threads actually used, parse chunking, plane kind) the
+// same way PrintBuildConfig echoes the selectivity build's.
+Result<Graph> LoadCliGraph(const std::string& spec) {
+  GraphLoadOptions options;
+  options.num_threads = g_num_threads;
+  GraphLoadStats stats;
+  Result<Graph> graph = spec == "-"
+                            ? ReadGraphText(&std::cin, options, &stats)
+                            : LoadGraphFile(spec, options, &stats);
+  if (graph.ok()) {
+    std::printf(
+        "graph ingest: %s |V|=%zu |E|=%zu |L|=%zu threads=%zu "
+        "(requested %zu), chunks=%zu, plane=%s, load=%.1fms "
+        "(read %.1f, parse %.1f, build %.1f)\n",
+        spec == "-" ? "<stdin>" : spec.c_str(), graph->num_vertices(),
+        graph->num_edges(), graph->num_labels(), stats.build.num_threads,
+        g_num_threads, stats.num_chunks,
+        PlaneKindName(stats.build.plane_kind), stats.total_ms, stats.read_ms,
+        stats.parse_ms, stats.build.total_ms);
+  }
+  return graph;
+}
+
 SelectivityOptions CliSelectivityOptions() {
   SelectivityOptions options;
   options.num_threads = g_num_threads;
@@ -104,8 +137,10 @@ int Usage() {
       "  pathest_cli accuracy <graph-file> <k> <ordering> <beta>\n"
       "  pathest_cli orderings\n"
       "datasets: moreno dbpedia snap-er snap-ff\n"
-      "--threads N: selectivity worker threads (0 = hardware cores, "
-      "default)\n"
+      "<graph-file> (or the global --graph flag standing in for it) may "
+      "be '-' to read the edge list from stdin\n"
+      "--threads N: selectivity AND ingest worker threads (0 = hardware "
+      "cores, default)\n"
       "--kernel K: pair-set extension kernel, auto|sparse|dense "
       "(auto = per-group cost-based choice, default)\n"
       "--strategy S: evaluator decomposition, fused|per-label "
@@ -132,7 +167,7 @@ int CmdGenerate(const std::vector<std::string>& args) {
 
 int CmdStats(const std::vector<std::string>& args) {
   if (args.size() != 1) return Usage();
-  auto graph = LoadGraphFile(args[0]);
+  auto graph = LoadCliGraph(args[0]);
   if (!graph.ok()) return Fail(graph.status());
   GraphStats stats = ComputeGraphStats(*graph);
   std::printf("%s", FormatGraphStats(*graph, stats).c_str());
@@ -141,7 +176,7 @@ int CmdStats(const std::vector<std::string>& args) {
 
 int CmdAnalyze(const std::vector<std::string>& args) {
   if (args.size() != 5) return Usage();
-  auto graph = LoadGraphFile(args[0]);
+  auto graph = LoadCliGraph(args[0]);
   if (!graph.ok()) return Fail(graph.status());
   size_t k = std::strtoull(args[1].c_str(), nullptr, 10);
   size_t beta = std::strtoull(args[3].c_str(), nullptr, 10);
@@ -212,7 +247,7 @@ int CmdEstimate(const std::vector<std::string>& args) {
 
 int CmdAccuracy(const std::vector<std::string>& args) {
   if (args.size() != 4) return Usage();
-  auto graph = LoadGraphFile(args[0]);
+  auto graph = LoadCliGraph(args[0]);
   if (!graph.ok()) return Fail(graph.status());
   size_t k = std::strtoull(args[1].c_str(), nullptr, 10);
   size_t beta = std::strtoull(args[3].c_str(), nullptr, 10);
@@ -280,9 +315,11 @@ int main(int argc, char** argv) {
   bool threads_seen = false;
   bool kernel_seen = false;
   bool strategy_seen = false;
+  bool graph_seen = false;
   std::string threads_text;
   std::string kernel_name;
   std::string strategy_name;
+  std::string graph_spec;
   for (size_t i = 0; i < all.size(); ++i) {
     if (all[i] == "--threads" && i + 1 < all.size()) {
       threads_seen = true;
@@ -290,6 +327,12 @@ int main(int argc, char** argv) {
     } else if (all[i].rfind("--threads=", 0) == 0) {
       threads_seen = true;
       threads_text = all[i].substr(10);
+    } else if (all[i] == "--graph" && i + 1 < all.size()) {
+      graph_seen = true;
+      graph_spec = all[++i];
+    } else if (all[i].rfind("--graph=", 0) == 0) {
+      graph_seen = true;
+      graph_spec = all[i].substr(8);
     } else if (all[i] == "--kernel" && i + 1 < all.size()) {
       kernel_seen = true;
       kernel_name = all[++i];
@@ -306,7 +349,6 @@ int main(int argc, char** argv) {
       rest.push_back(all[i]);
     }
   }
-  const bool engine_flags_given = threads_seen || kernel_seen || strategy_seen;
   if (threads_seen) {
     // An empty or non-numeric value is an error, not a silent default.
     if (threads_text.empty() ||
@@ -330,13 +372,34 @@ int main(int argc, char** argv) {
   if (rest.empty()) return SelfDemo();
   std::string cmd = rest[0];
   std::vector<std::string> args(rest.begin() + 1, rest.end());
-  // The engine flags only matter to commands that compute ground truth;
-  // flag a no-op combination instead of ignoring it silently.
-  if (engine_flags_given && cmd != "analyze" && cmd != "accuracy") {
+  const bool takes_graph =
+      cmd == "stats" || cmd == "analyze" || cmd == "accuracy";
+  // --graph stands in for the <graph-file> positional of the commands
+  // that load one ("-" = stdin), so pipelines can keep the source up
+  // front: `pathest_cli --graph - stats < edges.txt`.
+  if (graph_seen) {
+    if (!takes_graph) {
+      std::fprintf(stderr,
+                   "note: --graph has no effect on '%s' (it names the "
+                   "graph source of stats/analyze/accuracy)\n",
+                   cmd.c_str());
+    } else {
+      args.insert(args.begin(), graph_spec);
+    }
+  }
+  // The engine flags only matter to commands that compute ground truth
+  // (--threads also drives the ingest of a loaded graph); flag a no-op
+  // combination instead of ignoring it silently.
+  if ((kernel_seen || strategy_seen) && cmd != "analyze" &&
+      cmd != "accuracy") {
     std::fprintf(stderr,
-                 "note: --threads/--kernel/--strategy have no effect on "
-                 "'%s' (they configure the selectivity build of "
-                 "analyze/accuracy)\n",
+                 "note: --kernel/--strategy have no effect on '%s' (they "
+                 "configure the selectivity build of analyze/accuracy)\n",
+                 cmd.c_str());
+  } else if (threads_seen && !takes_graph) {
+    std::fprintf(stderr,
+                 "note: --threads has no effect on '%s' (it configures "
+                 "graph ingest and the selectivity build)\n",
                  cmd.c_str());
   }
   if (cmd == "generate") return CmdGenerate(args);

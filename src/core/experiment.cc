@@ -72,6 +72,39 @@ Result<SelectivityBuildResult> MeasureSelectivityBuild(
                                 std::move(*map)};
 }
 
+ReportTable GraphIngestReport(const GraphLoadStats& stats) {
+  ReportTable table({"stage", "ms", "share_%"});
+  const double total = stats.total_ms;
+  const auto add_stage = [&table, total](const std::string& stage,
+                                         double ms) {
+    const double share = total > 0.0 ? 100.0 * ms / total : 0.0;
+    table.AddRow({stage, FormatDouble(ms, 4), FormatDouble(share, 3)});
+  };
+  add_stage("read", stats.read_ms);
+  add_stage("parse(" + std::to_string(stats.num_chunks) + " chunks)",
+            stats.parse_ms);
+  add_stage("build/partition", stats.build.partition_ms);
+  add_stage("build/csr", stats.build.csr_ms);
+  add_stage("build/vertex-major", stats.build.vm_ms);
+  add_stage("build/plane", stats.build.plane_ms);
+  if (stats.build.reverse_ms > 0.0) {
+    add_stage("build/reverse", stats.build.reverse_ms);
+  }
+  std::string plane = std::string("plane(") +
+                      PlaneKindName(stats.build.plane_kind) + ", " +
+                      std::to_string(stats.build.plane_rows) + " rows, " +
+                      std::to_string(stats.build.plane_bytes) + " B";
+  if (stats.build.plane_kind == PlaneKind::kHub) {
+    plane += ", deg>=" + std::to_string(stats.build.hub_degree_threshold);
+  }
+  plane += ")";
+  table.AddRow({plane, "", ""});
+  table.AddRow({"total(wall, " + std::to_string(stats.num_threads) +
+                    " thread" + (stats.num_threads == 1 ? "" : "s") + ")",
+                FormatDouble(stats.total_ms, 4), "100"});
+  return table;
+}
+
 ReportTable SelectivityBuildReport(const Graph& graph,
                                    const SelectivityBuildResult& result) {
   ReportTable table({"label", "card", "eval_ms", "share_%"});

@@ -12,11 +12,19 @@
 #include "core/path_histogram.h"
 #include "core/report.h"
 #include "graph/graph.h"
+#include "graph/graph_io.h"
 #include "histogram/builders.h"
 #include "path/selectivity.h"
 #include "util/status.h"
 
 namespace pathest {
+
+/// \brief Renders one graph load's profile (GraphLoadStats) as a report
+/// table: one row per ingest stage — stream read, chunked parse, and each
+/// Build phase (partition, CSRs, vertex-major, plane, reverse) — with its
+/// share of the end-to-end wall time, plus a plane row (kind, rows,
+/// bytes, hub threshold) and a total row with the thread count.
+ReportTable GraphIngestReport(const GraphLoadStats& stats);
 
 /// \brief Build-time profile of one exact-selectivity computation: the
 /// ground-truth map plus where the wall-clock went (total and per root

@@ -145,9 +145,11 @@ void FusedExtender::Bind(const Graph& graph, PairKernel kernel) {
     // stride · |V| / cardinality. Still a pure function of the graph, so
     // kernel choice stays schedule-independent. ExtendAll keeps the plain
     // threshold: its drain extracts positions, which is what the sparse
-    // path avoids.
+    // path avoids. Dense planes only — a hub plane guarantees rows for
+    // hub cells alone, and a lowered threshold would push rowless cells
+    // onto per-edge bit-RMWs that lose to the marker.
     uint64_t count_threshold = base;
-    if (kernel == PairKernel::kAuto && plane_.rows != nullptr &&
+    if (kernel == PairKernel::kAuto && plane_.kind == PlaneKind::kDense &&
         cardinality > 0) {
       const uint64_t row_threshold = std::max<uint64_t>(
           2, plane_.stride_words * num_vertices / cardinality);
@@ -162,7 +164,10 @@ void FusedExtender::Bind(const Graph& graph, PairKernel kernel) {
   // Slab fast path: once a group is dense for EVERY label that has edges,
   // CountAll can union each member's whole plane slab (zero rows of
   // edgeless labels are no-ops) and skip the segment directory entirely.
-  if (plane_.rows != nullptr && any_edges && slab_bound != UINT64_MAX) {
+  // Dense planes only: the slab union assumes the contiguous |L|·stride
+  // per-vertex layout, which hub planes do not have.
+  if (plane_.kind == PlaneKind::kDense && any_edges &&
+      slab_bound != UINT64_MAX) {
     slab_threshold_ = slab_bound;
     slab_.assign(plane_.stride_words * num_labels, 0);
   } else {
@@ -216,11 +221,11 @@ void FusedExtender::CountAll(const PairSet& parent, uint64_t* counts) {
         const uint64_t tgt_begin = vm_.tgt_offsets[s];
         const uint64_t tgt_end = vm_.tgt_offsets[s + 1];
         if (group_size >= count_threshold_[l]) {
-          if (tgt_end - tgt_begin >= row_edge_min) {
-            bits_[l].OrWords(
-                plane_.rows + (static_cast<size_t>(t) * num_labels_ + l) *
-                                  plane_.stride_words,
-                plane_.stride_words);
+          const uint64_t* row = tgt_end - tgt_begin >= row_edge_min
+                                    ? RowFor(t, l, s)
+                                    : nullptr;
+          if (row != nullptr) {
+            bits_[l].OrWords(row, plane_.stride_words);
           } else {
             DynamicBitset& bits = bits_[l];
             for (uint64_t e = tgt_begin; e < tgt_end; ++e) {
@@ -284,11 +289,11 @@ void FusedExtender::ExtendAll(const PairSet& parent, PairSet* children) {
         const uint64_t tgt_begin = vm_.tgt_offsets[s];
         const uint64_t tgt_end = vm_.tgt_offsets[s + 1];
         if (group_size >= dense_threshold_[l]) {
-          if (tgt_end - tgt_begin >= row_edge_min) {
-            bits_[l].OrWords(
-                plane_.rows + (static_cast<size_t>(t) * num_labels_ + l) *
-                                  plane_.stride_words,
-                plane_.stride_words);
+          const uint64_t* row = tgt_end - tgt_begin >= row_edge_min
+                                    ? RowFor(t, l, s)
+                                    : nullptr;
+          if (row != nullptr) {
+            bits_[l].OrWords(row, plane_.stride_words);
           } else {
             DynamicBitset& bits = bits_[l];
             for (uint64_t e = tgt_begin; e < tgt_end; ++e) {

@@ -203,8 +203,10 @@ class FusedExtender {
   /// A segment ORs its precomputed bitmap row (stride_words word-ORs)
   /// instead of its edge list (seg_len bit-RMWs) when
   /// seg_len * kRowWinFactor >= stride_words — word-ORs vectorize to
-  /// roughly this many per bit-RMW.
-  static constexpr uint64_t kRowWinFactor = 4;
+  /// roughly this many per bit-RMW. Shared with the graph layer: the hub
+  /// plane's materialization floor (graph.h kPlaneRowWinFactor) is the
+  /// same crossover, so every hub row that exists clears this bound.
+  static constexpr uint64_t kRowWinFactor = kPlaneRowWinFactor;
 
   /// Capacities: reusable for any graph with at most `num_vertices`
   /// vertices and `num_labels` labels (the EvalContext reuse contract).
@@ -231,6 +233,28 @@ class FusedExtender {
   void ExtendAll(const PairSet& parent, PairSet* children);
 
  private:
+  /// The bitmap row of vertex-major segment `s` (= cell (t, l)), or
+  /// nullptr when the bound plane has none for it: direct addressing for
+  /// dense planes, the seg_rows directory for hub planes (the caller is
+  /// already holding the segment index, so the hub lookup is free).
+  const uint64_t* RowFor(VertexId t, LabelId l, uint64_t s) const {
+    switch (plane_.kind) {
+      case PlaneKind::kDense:
+        return plane_.rows + (static_cast<size_t>(t) * num_labels_ + l) *
+                                 plane_.stride_words;
+      case PlaneKind::kHub: {
+        const uint32_t row = plane_.seg_rows[s];
+        return row == kNoPlaneRow
+                   ? nullptr
+                   : plane_.rows +
+                         static_cast<size_t>(row) * plane_.stride_words;
+      }
+      case PlaneKind::kNone:
+      default:
+        return nullptr;
+    }
+  }
+
   size_t cap_vertices_;
   size_t cap_labels_;
   size_t num_labels_ = 0;        // bound graph's label count

@@ -15,6 +15,7 @@
 
 #include "gen/generator.h"
 #include "gen/label_assigner.h"
+#include "graph/graph_builder.h"
 #include "path/selectivity.h"
 #include "test_util.h"
 
@@ -68,6 +69,63 @@ void ExpectStrategyInvariance(const Graph& g, size_t k) {
         EXPECT_EQ(map.values(), baseline.values())
             << "strategy=" << ExtendStrategyName(strategy)
             << " kernel=" << PairKernelName(kernel) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Rebuilds `g`'s edge multiset under a forced plane policy/budget.
+Graph RebuildWithPlane(const Graph& g, PlanePolicy policy,
+                       size_t budget_bytes) {
+  GraphBuilder builder;
+  builder.Adopt(g.labels(), g.CollectEdges(), g.num_vertices());
+  GraphBuildOptions options;
+  options.plane = policy;
+  options.plane_budget_bytes = budget_bytes;
+  auto built = builder.Build(options);
+  PATHEST_CHECK(built.ok(), "plane rebuild failed");
+  return std::move(built).ValueOrDie();
+}
+
+TEST(FusedSelectivityTest, PlaneKindInvariance) {
+  // The plane dimension of the grid: no plane, dense plane, and the hub
+  // plane (forced by a budget the dense plane cannot fit) must all give
+  // bit-identical maps across strategy × kernel × threads — the hub path
+  // falls back to target-list scans per rowless cell, never changing the
+  // computed sets.
+  const Graph base = ErdosRenyiGraph(200, 2400, 3, 29);
+  const SelectivityMap baseline =
+      Compute(base, 3, ExtendStrategy::kPerLabel, PairKernel::kSparse, 1);
+  const struct {
+    PlanePolicy policy;
+    size_t budget_bytes;
+    PlaneKind want;
+  } cases[] = {
+      {PlanePolicy::kNone, kAdjacencyPlaneMaxBytes, PlaneKind::kNone},
+      {PlanePolicy::kDense, kAdjacencyPlaneMaxBytes, PlaneKind::kDense},
+      // 1 KiB cannot hold the 19200-byte dense plane, so kAuto goes hub.
+      {PlanePolicy::kAuto, 1024, PlaneKind::kHub},
+      {PlanePolicy::kHub, kAdjacencyPlaneMaxBytes, PlaneKind::kHub},
+  };
+  for (const auto& c : cases) {
+    const Graph g = RebuildWithPlane(base, c.policy, c.budget_bytes);
+    ASSERT_EQ(g.AdjacencyBitmaps().kind, c.want);
+    if (c.want == PlaneKind::kHub) {
+      // The bitmap path must actually be live, not vacuously absent.
+      ASSERT_GT(g.AdjacencyBitmaps().num_rows, 0u);
+    }
+    for (ExtendStrategy strategy :
+         {ExtendStrategy::kFused, ExtendStrategy::kPerLabel}) {
+      for (PairKernel kernel :
+           {PairKernel::kAuto, PairKernel::kSparse, PairKernel::kDense}) {
+        for (size_t threads : {1u, 2u, 4u}) {
+          const SelectivityMap map = Compute(g, 3, strategy, kernel, threads);
+          EXPECT_EQ(map.values(), baseline.values())
+              << "plane=" << PlaneKindName(c.want)
+              << " strategy=" << ExtendStrategyName(strategy)
+              << " kernel=" << PairKernelName(kernel)
+              << " threads=" << threads;
+        }
       }
     }
   }
