@@ -1,0 +1,199 @@
+// bench_catalog_io: load-time comparison of the two on-disk catalog
+// formats (core/serialize.h) at serving scale — a β≈28k estimator over
+// |L_3| = 30783 paths (31 labels, lengths 1..3), the catalog size the
+// paper's full-graph analyses produce. The text format pays hexfloat parsing per bucket row; the
+// binary v1 format pays four CRC32C sweeps and then reinterprets the
+// column-major u64 rows directly, which is the point of having it.
+//
+// The estimator is synthetic (deterministic fabricated buckets assembled
+// through the same FromBuckets/FromParts path deserialization uses), so
+// the bench needs no graph build and isolates pure load cost. Before
+// timing, both files are loaded once and their estimates compared
+// bit-exactly over the full domain — a speedup over a WRONG loader is not
+// a result.
+//
+// PATHEST_SCALE scales β (default 1.0 → β=27993), PATHEST_REPS the
+// best-of repetition count (default 5). --json[=path] writes one JSON
+// object (default BENCH_catalog_io.json) with the sizes, best times, and
+// the binary-over-text speedup.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/serialize.h"
+#include "histogram/histogram.h"
+#include "ordering/factory.h"
+#include "path/path_space.h"
+#include "util/safe_io.h"
+#include "util/timer.h"
+
+namespace pathest {
+namespace {
+
+// Deterministic per-bucket representative value (no RNG: reproducible
+// bytes make the bench a fixture, not a flake).
+double BucketValue(uint64_t i) {
+  return static_cast<double>((i * 2654435761ull) % 1000u + 1u);
+}
+
+PathHistogram BuildSyntheticEstimator(size_t num_labels, size_t k,
+                                      size_t beta, LabelDictionary* labels,
+                                      std::vector<uint64_t>* cards) {
+  for (size_t l = 0; l < num_labels; ++l) {
+    labels->Intern("l" + std::to_string(l));
+    cards->push_back(100 + 37 * l);
+  }
+  PathSpace space(num_labels, k);
+  const uint64_t domain = space.size();
+  PATHEST_CHECK(beta >= 2 && beta <= domain, "beta out of range");
+
+  // Contiguous cover of [0, domain): the first (domain - beta) buckets
+  // have width 2, the rest width 1.
+  std::vector<Bucket> buckets;
+  buckets.reserve(beta);
+  const uint64_t wide = domain - beta;
+  uint64_t begin = 0;
+  for (uint64_t i = 0; i < beta; ++i) {
+    const uint64_t width = i < wide ? 2 : 1;
+    const double v = BucketValue(i);
+    Bucket b;
+    b.begin = begin;
+    b.end = begin + width;
+    b.sum = static_cast<double>(width) * v;
+    b.sumsq = static_cast<double>(width) * v * v;
+    buckets.push_back(b);
+    begin += width;
+  }
+  auto histogram = Histogram::FromBuckets(std::move(buckets));
+  bench::DieIf(histogram.status(), "FromBuckets");
+  auto ordering = MakeOrderingFromStats("sum-based", *labels, *cards, k);
+  bench::DieIf(ordering.status(), "MakeOrderingFromStats");
+  auto est = PathHistogram::FromParts(std::move(*ordering),
+                                      std::move(*histogram),
+                                      HistogramType::kVOptimal);
+  bench::DieIf(est.status(), "FromParts");
+  return std::move(*est);
+}
+
+double BestLoadMillis(const std::string& path, size_t reps) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    auto loaded = LoadPathHistogram(path);
+    const double ms = timer.ElapsedMillis();
+    bench::DieIf(loaded.status(), "LoadPathHistogram");
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+int Run(bool json_mode, const std::string& json_path) {
+  const size_t k = 3;
+  const size_t num_labels = 31;
+  const double scale = ScaleFromEnv();
+  const uint64_t domain = PathSpace(num_labels, k).size();
+  size_t beta = static_cast<size_t>(27993 * scale);
+  if (beta < 2) beta = 2;
+  if (beta > domain) beta = static_cast<size_t>(domain);
+  const size_t reps = bench::SizeFromEnv("PATHEST_REPS", 5);
+
+  LabelDictionary labels;
+  std::vector<uint64_t> cards;
+  PathHistogram est =
+      BuildSyntheticEstimator(num_labels, k, beta, &labels, &cards);
+  std::printf("catalog: %s, beta=%zu over |L_%zu|=%llu\n",
+              est.Describe().c_str(), beta, k,
+              static_cast<unsigned long long>(domain));
+
+  const std::string dir = "/tmp";
+  const std::string text_path = dir + "/pathest_bench_catalog.text.stats";
+  const std::string bin_path = dir + "/pathest_bench_catalog.bin.stats";
+  std::ostringstream text;
+  bench::DieIf(WritePathHistogram(est, labels, cards, &text), "write text");
+  bench::DieIf(AtomicWriteFile(text_path, text.str()), "save text");
+  std::string binary;
+  bench::DieIf(WritePathHistogramBinary(est, labels, cards, &binary),
+               "write binary");
+  bench::DieIf(AtomicWriteFile(bin_path, binary), "save binary");
+  std::printf("text=%zu bytes, binary=%zu bytes\n", text.str().size(),
+              binary.size());
+
+  // Correctness gate before any timing: both loads must reproduce the
+  // original estimator bit-exactly over the whole domain.
+  auto from_text = LoadPathHistogram(text_path);
+  auto from_bin = LoadPathHistogram(bin_path);
+  bench::DieIf(from_text.status(), "load text");
+  bench::DieIf(from_bin.status(), "load binary");
+  PathSpace space(num_labels, k);
+  size_t mismatches = 0;
+  space.ForEach([&](const LabelPath& p) {
+    const double want = est.Estimate(p);
+    if (from_text->estimator.Estimate(p) != want ||
+        from_bin->estimator.Estimate(p) != want) {
+      ++mismatches;
+    }
+  });
+  if (mismatches != 0) {
+    std::fprintf(stderr, "FORMAT MISMATCH on %zu paths\n", mismatches);
+    return 1;
+  }
+  std::printf("cross-format identity: OK over all %llu paths\n",
+              static_cast<unsigned long long>(domain));
+
+  const double text_ms = BestLoadMillis(text_path, reps);
+  const double binary_ms = BestLoadMillis(bin_path, reps);
+  const double speedup = text_ms / binary_ms;
+  std::printf("load (best of %zu): text=%.3fms binary=%.3fms  "
+              "binary speedup=%.2fx\n",
+              reps, text_ms, binary_ms, speedup);
+
+  std::remove(text_path.c_str());
+  std::remove(bin_path.c_str());
+
+  if (!json_mode) return 0;
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"catalog_io\",\n"
+               "  \"k\": %zu,\n"
+               "  \"num_labels\": %zu,\n"
+               "  \"domain\": %llu,\n"
+               "  \"beta\": %zu,\n"
+               "  \"reps\": %zu,\n"
+               "  \"text_bytes\": %zu,\n"
+               "  \"binary_bytes\": %zu,\n"
+               "  \"text_ms\": %.4f,\n"
+               "  \"binary_ms\": %.4f,\n"
+               "  \"speedup\": %.3f\n"
+               "}\n",
+               k, num_labels, static_cast<unsigned long long>(domain), beta,
+               reps, text.str().size(), binary.size(), text_ms, binary_ms,
+               speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pathest
+
+int main(int argc, char** argv) {
+  bool json_mode = false;
+  std::string json_path = "BENCH_catalog_io.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json_mode = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_mode = true;
+      json_path = arg.substr(7);
+    }
+  }
+  return pathest::Run(json_mode, json_path);
+}

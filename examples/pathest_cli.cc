@@ -11,6 +11,7 @@
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
 //   pathest_cli estimate <stats-file> [<path> ...]
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
+//   pathest_cli catalog verify <dir>
 //   pathest_cli orderings
 //
 // The graph source of stats/analyze/accuracy is the <graph-file>
@@ -37,6 +38,17 @@
 // commands that build ground truth echo the RESOLVED configuration —
 // including the post-clamp worker count — in their build report line.
 //
+// --format text|binary picks the on-disk catalog format analyze writes
+// (default text; binary is the checksummed v1 layout of core/serialize.h —
+// estimate and catalog verify sniff the format, so no flag on read).
+// `catalog verify <dir>` checksum-walks every *.stats entry and exits
+// nonzero if ANY entry fails, printing one line per entry; it is the
+// operational integrity probe for a directory of persisted statistics.
+//
+// Exit codes are uniform across subcommands: 0 = success, 1 = runtime
+// failure (including any failed estimate query or corrupt catalog entry,
+// with the details on stderr), 2 = usage error.
+//
 // Runs with no arguments as a self-demo (generates a small moreno-like
 // graph, analyzes it, estimates a few queries) so that it is exercised by
 // simply running the binary.
@@ -47,6 +59,7 @@
 #include <string>
 #include <vector>
 
+#include "core/catalog.h"
 #include "core/error.h"
 #include "core/estimator.h"
 #include "core/experiment.h"
@@ -71,6 +84,10 @@ PairKernel g_kernel = PairKernel::kAuto;
 // Evaluator strategy; set by --strategy (fused = all-labels kernel with
 // depth-2 prefix tasks, per-label = the baseline engine).
 ExtendStrategy g_strategy = ExtendStrategy::kFused;
+
+// On-disk catalog format for analyze's save; set by --format. Readers
+// sniff, so there is no corresponding load flag.
+CatalogFormat g_format = CatalogFormat::kText;
 
 // Loads the graph named by `spec` — a file path, or "-" for stdin —
 // through the streaming ingest pipeline, echoing the resolved ingest
@@ -135,6 +152,9 @@ int Usage() {
       "  pathest_cli estimate <stats-file> [<path> ...]\n"
       "      (no paths: read one label path per stdin line)\n"
       "  pathest_cli accuracy <graph-file> <k> <ordering> <beta>\n"
+      "  pathest_cli catalog verify <dir>\n"
+      "      (checksum-walk every *.stats entry; nonzero exit on any "
+      "failure)\n"
       "  pathest_cli orderings\n"
       "datasets: moreno dbpedia snap-er snap-ff\n"
       "<graph-file> (or the global --graph flag standing in for it) may "
@@ -144,7 +164,9 @@ int Usage() {
       "--kernel K: pair-set extension kernel, auto|sparse|dense "
       "(auto = per-group cost-based choice, default)\n"
       "--strategy S: evaluator decomposition, fused|per-label "
-      "(fused = all-labels kernel + prefix tasks, default)\n");
+      "(fused = all-labels kernel + prefix tasks, default)\n"
+      "--format F: on-disk catalog format analyze writes, text|binary "
+      "(text default; binary = checksummed catalog v1; readers sniff)\n");
   return 2;
 }
 
@@ -188,10 +210,10 @@ int CmdAnalyze(const std::vector<std::string>& args) {
   auto estimator = PathHistogram::Build(*truth, std::move(*ordering),
                                         HistogramType::kVOptimal, beta);
   if (!estimator.ok()) return Fail(estimator.status());
-  Status st = SavePathHistogram(*estimator, *graph, args[4]);
+  Status st = SavePathHistogram(*estimator, *graph, args[4], g_format);
   if (!st.ok()) return Fail(st);
-  std::printf("wrote %s: %s over |L_%zu|=%llu\n", args[4].c_str(),
-              estimator->Describe().c_str(), k,
+  std::printf("wrote %s (%s): %s over |L_%zu|=%llu\n", args[4].c_str(),
+              CatalogFormatName(g_format), estimator->Describe().c_str(), k,
               static_cast<unsigned long long>(estimator->ordering().size()));
   return 0;
 }
@@ -234,15 +256,42 @@ int CmdEstimate(const std::vector<std::string>& args) {
   }
   std::vector<double> estimates(paths.size());
   serving.EstimateBatch(paths, estimates);
+  size_t failed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     if (path_of_query[i] == SIZE_MAX) {
+      ++failed;
       std::printf("%-30s  <%s>\n", queries[i].c_str(), errors[i].c_str());
     } else {
       std::printf("%-30s  e = %.2f\n", queries[i].c_str(),
                   estimates[path_of_query[i]]);
     }
   }
+  // A scripted caller must be able to see "some queries did not parse"
+  // without scraping stdout: failures also mean a nonzero exit.
+  if (failed > 0) {
+    std::fprintf(stderr, "error: %zu of %zu queries failed\n", failed,
+                 queries.size());
+    return 1;
+  }
   return 0;
+}
+
+int CmdCatalog(const std::vector<std::string>& args) {
+  if (args.size() != 2 || args[0] != "verify") return Usage();
+  auto report = VerifyCatalogDir(args[1]);
+  if (!report.ok()) return Fail(report.status());
+  for (const std::string& name : report->loaded) {
+    std::printf("ok        %s\n", name.c_str());
+  }
+  for (const CatalogLoadFailure& f : report->failures) {
+    std::string where = f.path;
+    if (!f.section.empty()) where += " [" + f.section + "]";
+    std::fprintf(stderr, "CORRUPT   %s: %s\n", where.c_str(),
+                 f.status.ToString().c_str());
+  }
+  std::printf("verified %s: %zu ok, %zu corrupt\n", args[1].c_str(),
+              report->loaded.size(), report->failures.size());
+  return report->failures.empty() ? 0 : 1;
 }
 
 int CmdAccuracy(const std::vector<std::string>& args) {
@@ -316,10 +365,12 @@ int main(int argc, char** argv) {
   bool kernel_seen = false;
   bool strategy_seen = false;
   bool graph_seen = false;
+  bool format_seen = false;
   std::string threads_text;
   std::string kernel_name;
   std::string strategy_name;
   std::string graph_spec;
+  std::string format_name;
   for (size_t i = 0; i < all.size(); ++i) {
     if (all[i] == "--threads" && i + 1 < all.size()) {
       threads_seen = true;
@@ -345,6 +396,12 @@ int main(int argc, char** argv) {
     } else if (all[i].rfind("--strategy=", 0) == 0) {
       strategy_seen = true;
       strategy_name = all[i].substr(11);
+    } else if (all[i] == "--format" && i + 1 < all.size()) {
+      format_seen = true;
+      format_name = all[++i];
+    } else if (all[i].rfind("--format=", 0) == 0) {
+      format_seen = true;
+      format_name = all[i].substr(9);
     } else {
       rest.push_back(all[i]);
     }
@@ -368,6 +425,11 @@ int main(int argc, char** argv) {
     auto strategy = ParseExtendStrategy(strategy_name);
     if (!strategy.ok()) return Fail(strategy.status());
     g_strategy = *strategy;
+  }
+  if (format_seen) {
+    auto format = ParseCatalogFormat(format_name);
+    if (!format.ok()) return Fail(format.status());
+    g_format = *format;
   }
   if (rest.empty()) return SelfDemo();
   std::string cmd = rest[0];
@@ -402,11 +464,18 @@ int main(int argc, char** argv) {
                  "graph ingest and the selectivity build)\n",
                  cmd.c_str());
   }
+  if (format_seen && cmd != "analyze") {
+    std::fprintf(stderr,
+                 "note: --format has no effect on '%s' (it picks the "
+                 "catalog format analyze writes; readers sniff)\n",
+                 cmd.c_str());
+  }
   if (cmd == "generate") return CmdGenerate(args);
   if (cmd == "stats") return CmdStats(args);
   if (cmd == "analyze") return CmdAnalyze(args);
   if (cmd == "estimate") return CmdEstimate(args);
   if (cmd == "accuracy") return CmdAccuracy(args);
+  if (cmd == "catalog") return CmdCatalog(args);
   if (cmd == "orderings") return CmdOrderings();
   return Usage();
 }

@@ -1,9 +1,74 @@
 #include "core/catalog.h"
 
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
 #include "core/serialize.h"
 #include "ordering/factory.h"
 
 namespace pathest {
+
+namespace {
+
+// Binary-loader errors localize themselves as "section <name>: ..."; pull
+// the section out so a CatalogLoadReport can aggregate by section without
+// the caller string-matching.
+std::string ExtractSectionFromError(const std::string& message) {
+  constexpr const char* kPrefix = "section ";
+  if (message.rfind(kPrefix, 0) != 0) return "";
+  const size_t start = std::char_traits<char>::length(kPrefix);
+  const size_t colon = message.find(':', start);
+  if (colon == std::string::npos) return "";
+  return message.substr(start, colon - start);
+}
+
+// Sorted `*.stats` paths under `dir`; NotFound/IOError when the directory
+// itself cannot be walked.
+Status ListCatalogEntries(const std::string& dir,
+                          std::vector<std::filesystem::path>* out) {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("catalog directory not found: " + dir);
+  }
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot read catalog directory '" + dir +
+                           "': " + ec.message());
+  }
+  for (const auto& entry : it) {
+    if (entry.is_regular_file(ec) && entry.path().extension() == ".stats") {
+      out->push_back(entry.path());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+void RecordFailure(CatalogLoadReport* report, const std::string& path,
+                   Status status) {
+  if (report == nullptr) return;
+  std::string section = ExtractSectionFromError(status.message());
+  report->failures.push_back(
+      CatalogLoadFailure{path, std::move(section), std::move(status)});
+}
+
+}  // namespace
+
+Result<CatalogLoadReport> VerifyCatalogDir(const std::string& dir) {
+  std::vector<std::filesystem::path> entries;
+  PATHEST_RETURN_NOT_OK(ListCatalogEntries(dir, &entries));
+  CatalogLoadReport report;
+  for (const auto& path : entries) {
+    auto loaded = LoadPathHistogram(path.string());
+    if (loaded.ok()) {
+      report.loaded.push_back(path.stem().string());
+    } else {
+      RecordFailure(&report, path.string(), loaded.status());
+    }
+  }
+  return report;
+}
 
 StatisticsCatalog::StatisticsCatalog(
     const Graph* graph, std::unique_ptr<SelectivityMap> selectivities)
@@ -75,14 +140,45 @@ double StatisticsCatalog::Staleness() const {
 }
 
 Status StatisticsCatalog::SaveAll(const std::string& dir,
-                                  std::vector<std::string>* skipped) const {
+                                  std::vector<std::string>* skipped,
+                                  CatalogFormat format) const {
   for (const auto& [name, estimator] : estimators_) {
     if (!IsSerializableOrdering(estimator->ordering().name())) {
       if (skipped != nullptr) skipped->push_back(name);
       continue;
     }
-    PATHEST_RETURN_NOT_OK(
-        SavePathHistogram(*estimator, *graph_, dir + "/" + name + ".stats"));
+    // SavePathHistogram publishes atomically (temp + fsync + rename), so a
+    // failure or crash on any entry leaves every existing file intact.
+    PATHEST_RETURN_NOT_OK(SavePathHistogram(
+        *estimator, *graph_, dir + "/" + name + ".stats", format));
+  }
+  return Status::OK();
+}
+
+Status StatisticsCatalog::LoadAll(const std::string& dir,
+                                  CatalogLoadReport* report) {
+  std::vector<std::filesystem::path> entries;
+  PATHEST_RETURN_NOT_OK(ListCatalogEntries(dir, &entries));
+  for (const auto& path : entries) {
+    auto loaded = LoadPathHistogram(path.string());
+    if (!loaded.ok()) {
+      RecordFailure(report, path.string(), loaded.status());
+      continue;
+    }
+    // A well-formed entry persisted against a DIFFERENT label dictionary
+    // would serve confidently wrong estimates — quarantine it like any
+    // other corruption instead of registering it.
+    if (loaded->labels.names() != graph_->labels().names()) {
+      RecordFailure(
+          report, path.string(),
+          Status::IOError("label dictionary does not match the catalog's "
+                          "graph (foreign or stale entry)"));
+      continue;
+    }
+    const std::string name = path.stem().string();
+    estimators_[name] =
+        std::make_unique<PathHistogram>(std::move(loaded->estimator));
+    if (report != nullptr) report->loaded.push_back(name);
   }
   return Status::OK();
 }

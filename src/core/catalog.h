@@ -16,11 +16,37 @@
 #include <vector>
 
 #include "core/path_histogram.h"
+#include "core/serialize.h"
 #include "graph/graph.h"
 #include "path/selectivity.h"
 #include "util/status.h"
 
 namespace pathest {
+
+/// \brief One quarantined catalog entry: the file that failed, the binary
+/// section implicated (when the loader could localize it; "" otherwise),
+/// and the typed error.
+struct CatalogLoadFailure {
+  std::string path;
+  std::string section;
+  Status status;
+};
+
+/// \brief Outcome of a degraded-mode catalog load: which entries serve and
+/// which were quarantined (and why). A catalog with failures still serves
+/// every healthy entry — one corrupt file must not take down the rest.
+struct CatalogLoadReport {
+  std::vector<std::string> loaded;  // estimator names now registered
+  std::vector<CatalogLoadFailure> failures;
+
+  bool fully_healthy() const { return failures.empty(); }
+};
+
+/// \brief Checksum-walks every `*.stats` entry under `dir` (both formats:
+/// binary entries verify every section CRC, text entries a full parse)
+/// without needing a graph or an analyzed catalog — the integrity audit
+/// behind `pathest_cli catalog verify`. NotFound if `dir` does not exist.
+Result<CatalogLoadReport> VerifyCatalogDir(const std::string& dir);
 
 /// \brief Configuration of one catalog entry.
 struct CatalogEntryConfig {
@@ -75,11 +101,24 @@ class StatisticsCatalog {
 
   size_t k() const { return selectivities_->space().k(); }
 
-  /// \brief Persists every serializable estimator to `<dir>/<name>.stats`.
-  /// Non-serializable entries (ideal/random/sum-L2) are skipped and
-  /// reported in `skipped`.
+  /// \brief Persists every serializable estimator to `<dir>/<name>.stats`
+  /// in `format`, each through an atomic temp+fsync+rename write
+  /// (util/safe_io.h): a crash or failure mid-save leaves every previously
+  /// existing entry byte-identical. Non-serializable entries
+  /// (ideal/random/sum-L2) are skipped and reported in `skipped`.
   Status SaveAll(const std::string& dir,
-                 std::vector<std::string>* skipped = nullptr) const;
+                 std::vector<std::string>* skipped = nullptr,
+                 CatalogFormat format = CatalogFormat::kText) const;
+
+  /// \brief Restores persisted estimators from `<dir>/*.stats` (either
+  /// format, sniffed) with graceful degradation: a corrupt or unreadable
+  /// entry is quarantined into `report->failures` (path, section, error)
+  /// and the remaining entries still load and serve. Entries register
+  /// under their file stem, replacing same-named estimators. Returns
+  /// non-OK only when the directory itself is unreadable — per-entry
+  /// corruption is a report, not an abort.
+  Status LoadAll(const std::string& dir,
+                 CatalogLoadReport* report = nullptr);
 
  private:
   StatisticsCatalog(const Graph* graph,

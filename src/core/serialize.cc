@@ -4,17 +4,70 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iterator>
+#include <sstream>
 #include <string_view>
 
 #include "ordering/factory.h"
+#include "util/combinatorics.h"
+#include "util/crc32c.h"
+#include "util/safe_io.h"
 
 namespace pathest {
 
 namespace {
-constexpr const char* kMagic = "pathest-histogram v1";
+
+constexpr const char* kTextMagic = "pathest-histogram v1";
+
+// Caps shared by both formats: a label dictionary or path length outside
+// these is a corrupt or forged file, not a real catalog.
+constexpr uint64_t kMaxLabels = 4096;
+constexpr uint64_t kMaxLabelNameBytes = 4096;
+
+// The sum-based family carries a composition section (stage-2 table);
+// sum-L2 never reaches serialization (IsSerializableOrdering rejects it).
+bool IsSumFamilyOrdering(const std::string& name) {
+  return name.rfind("sum-", 0) == 0;
+}
+
 }  // namespace
+
+const char* CatalogFormatName(CatalogFormat format) {
+  switch (format) {
+    case CatalogFormat::kText:
+      return "text";
+    case CatalogFormat::kBinary:
+      return "binary";
+  }
+  return "?";
+}
+
+Result<CatalogFormat> ParseCatalogFormat(const std::string& name) {
+  if (name == "text") return CatalogFormat::kText;
+  if (name == "binary") return CatalogFormat::kBinary;
+  return Status::InvalidArgument("unknown catalog format '" + name +
+                                 "' (expected text|binary)");
+}
+
+namespace binfmt {
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionOrdering:
+      return "ordering";
+    case kSectionLabels:
+      return "labels";
+    case kSectionCardinalities:
+      return "cardinalities";
+    case kSectionHistogram:
+      return "histogram";
+    case kSectionComposition:
+      return "composition";
+  }
+  return "?";
+}
+}  // namespace binfmt
 
 bool IsSerializableOrdering(const std::string& ordering_name) {
   for (const char* name :
@@ -24,6 +77,8 @@ bool IsSerializableOrdering(const std::string& ordering_name) {
   }
   return false;
 }
+
+// ------------------------------------------------------------- text writer
 
 Status WritePathHistogram(const PathHistogram& estimator,
                           const LabelDictionary& labels,
@@ -38,7 +93,7 @@ Status WritePathHistogram(const PathHistogram& estimator,
   if (labels.size() != label_cardinalities.size()) {
     return Status::InvalidArgument("cardinalities size mismatch");
   }
-  (*out) << kMagic << "\n";
+  (*out) << kTextMagic << "\n";
   (*out) << "ordering " << ordering_name << "\n";
   (*out) << "type " << HistogramTypeName(estimator.histogram_type()) << "\n";
   (*out) << "k " << estimator.ordering().space().k() << "\n";
@@ -60,34 +115,155 @@ Status WritePathHistogram(const PathHistogram& estimator,
   return Status::OK();
 }
 
+// ----------------------------------------------------------- binary writer
+
+Status WritePathHistogramBinary(const PathHistogram& estimator,
+                                const LabelDictionary& labels,
+                                const std::vector<uint64_t>& cardinalities,
+                                std::string* out) {
+  const std::string& ordering_name = estimator.ordering().name();
+  if (!IsSerializableOrdering(ordering_name)) {
+    return Status::InvalidArgument(
+        "ordering '" + ordering_name +
+        "' materializes O(|L_k|) state and cannot be serialized compactly");
+  }
+  if (labels.size() != cardinalities.size()) {
+    return Status::InvalidArgument("cardinalities size mismatch");
+  }
+  const size_t k = estimator.ordering().space().k();
+  const size_t num_labels = labels.size();
+
+  // Section payloads, in id order.
+  std::vector<std::pair<uint32_t, std::string>> sections;
+
+  std::string ordering_payload;
+  AppendLengthPrefixedString(&ordering_payload, ordering_name);
+  AppendLengthPrefixedString(
+      &ordering_payload, HistogramTypeName(estimator.histogram_type()));
+  AppendU32(&ordering_payload, static_cast<uint32_t>(k));
+  AppendU32(&ordering_payload, 0);
+  sections.emplace_back(binfmt::kSectionOrdering, std::move(ordering_payload));
+
+  std::string labels_payload;
+  AppendU32(&labels_payload, static_cast<uint32_t>(num_labels));
+  for (const std::string& name : labels.names()) {
+    AppendLengthPrefixedString(&labels_payload, name);
+  }
+  sections.emplace_back(binfmt::kSectionLabels, std::move(labels_payload));
+
+  std::string cards_payload;
+  AppendU32(&cards_payload, static_cast<uint32_t>(num_labels));
+  AppendU32(&cards_payload, 0);
+  for (uint64_t f : cardinalities) AppendU64(&cards_payload, f);
+  sections.emplace_back(binfmt::kSectionCardinalities,
+                        std::move(cards_payload));
+
+  // Structure-of-arrays bucket rows: the column layout the serving
+  // FlatHistogram wants, so an mmap tier can point at whole rows.
+  const auto& buckets = estimator.histogram().buckets();
+  std::string hist_payload;
+  hist_payload.reserve(8 + buckets.size() * 32);
+  AppendU64(&hist_payload, buckets.size());
+  for (const Bucket& b : buckets) AppendU64(&hist_payload, b.begin);
+  for (const Bucket& b : buckets) AppendU64(&hist_payload, b.end);
+  for (const Bucket& b : buckets) AppendDouble(&hist_payload, b.sum);
+  for (const Bucket& b : buckets) AppendDouble(&hist_payload, b.sumsq);
+  sections.emplace_back(binfmt::kSectionHistogram, std::move(hist_payload));
+
+  if (IsSumFamilyOrdering(ordering_name)) {
+    // The sum-based stage-2 CompositionTable rows, exactly as the ordering
+    // rebuilds them from (|L|, k). Carrying them on disk (a) lets the load
+    // path cross-check a semantic invariant no CRC can, and (b) is the row
+    // layout the mmap serving tier will consume directly.
+    CompositionTable table(num_labels, k);
+    std::string comp_payload;
+    AppendU32(&comp_payload, static_cast<uint32_t>(num_labels));
+    AppendU32(&comp_payload, static_cast<uint32_t>(k));
+    uint64_t num_values = 0;
+    for (uint64_t m = 1; m <= k; ++m) {
+      num_values += m * num_labels - m + 1;
+    }
+    AppendU64(&comp_payload, num_values);
+    for (uint64_t m = 1; m <= k; ++m) {
+      for (uint64_t sum = m; sum <= m * num_labels; ++sum) {
+        AppendU64(&comp_payload, table.Count(sum, m));
+      }
+    }
+    sections.emplace_back(binfmt::kSectionComposition,
+                          std::move(comp_payload));
+  }
+
+  // Assemble: header, table, payloads. Offsets are absolute.
+  const size_t table_bytes = sections.size() * binfmt::kSectionEntryBytes;
+  uint64_t offset = binfmt::kHeaderBytes + table_bytes;
+  std::string table;
+  table.reserve(table_bytes);
+  uint64_t total_size = offset;
+  for (const auto& [id, payload] : sections) {
+    AppendU32(&table, id);
+    AppendU32(&table, Crc32c(payload.data(), payload.size()));
+    AppendU64(&table, offset);
+    AppendU64(&table, payload.size());
+    offset += payload.size();
+    total_size += payload.size();
+  }
+
+  std::string header;
+  header.reserve(binfmt::kHeaderBytes);
+  header.append(reinterpret_cast<const char*>(binfmt::kMagic),
+                binfmt::kMagicBytes);
+  AppendU32(&header, binfmt::kVersion);
+  AppendU32(&header, static_cast<uint32_t>(sections.size()));
+  AppendU64(&header, total_size);
+  AppendU32(&header, Crc32c(header.data(), header.size()));
+  AppendU32(&header, Crc32c(table.data(), table.size()));
+
+  out->clear();
+  out->reserve(total_size);
+  out->append(header);
+  out->append(table);
+  for (const auto& [id, payload] : sections) out->append(payload);
+  return Status::OK();
+}
+
 Status SavePathHistogram(const PathHistogram& estimator, const Graph& graph,
-                         const std::string& path) {
+                         const std::string& path, CatalogFormat format) {
   std::vector<uint64_t> cards(graph.num_labels());
   for (LabelId l = 0; l < graph.num_labels(); ++l) {
     cards[l] = graph.LabelCardinality(l);
   }
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IOError("cannot open for writing: " + path);
+  std::string bytes;
+  if (format == CatalogFormat::kBinary) {
+    PATHEST_RETURN_NOT_OK(
+        WritePathHistogramBinary(estimator, graph.labels(), cards, &bytes));
+  } else {
+    std::ostringstream out;
+    PATHEST_RETURN_NOT_OK(
+        WritePathHistogram(estimator, graph.labels(), cards, &out));
+    bytes = out.str();
   }
-  return WritePathHistogram(estimator, graph.labels(), cards, &out);
+  // Atomic publication: a crashed or failed save never leaves a partial
+  // catalog at `path`, and any previous file there survives byte-identical.
+  return AtomicWriteFile(path, bytes);
 }
 
-Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
-  // The file is slurped once and parsed with a cursor over the raw bytes:
-  // integers via std::from_chars, doubles via strtod (hexfloat). The
-  // previous reader paid an istringstream construction plus locale-aware
-  // operator>> extraction per line, which dominated large-beta catalog
-  // loads (see the timing note in serialize.h).
-  std::string content{std::istreambuf_iterator<char>(*in),
-                      std::istreambuf_iterator<char>()};
+// ------------------------------------------------------------- text reader
+
+namespace {
+
+Result<LoadedPathHistogram> ReadPathHistogramText(const std::string& content) {
+  // The buffer is parsed with a cursor over the raw bytes: integers via
+  // std::from_chars, doubles via strtod (hexfloat). The previous reader
+  // paid an istringstream construction plus locale-aware operator>>
+  // extraction per line, which dominated large-beta catalog loads (see the
+  // timing note in serialize.h).
   const char* cur = content.data();
   const char* const end = content.data() + content.size();
 
   // The magic is a whole line, not a token (it contains a space).
   const char* nl = std::find(cur, end, '\n');
-  if (std::string_view(cur, static_cast<size_t>(nl - cur)) != kMagic) {
-    return Status::IOError("bad magic: expected '" + std::string(kMagic) +
+  if (std::string_view(cur, static_cast<size_t>(nl - cur)) != kTextMagic) {
+    return Status::IOError("bad magic: expected '" + std::string(kTextMagic) +
                            "'");
   }
   cur = nl == end ? end : nl + 1;
@@ -147,8 +323,17 @@ Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
 
   PATHEST_RETURN_NOT_OK(expect_key("labels"));
   uint64_t num_labels = 0;
-  if (!parse_u64(&num_labels) || num_labels == 0 || num_labels > 4096) {
+  if (!parse_u64(&num_labels) || num_labels == 0 || num_labels > kMaxLabels) {
     return Status::IOError("bad label count");
+  }
+  // A parsed count sizes allocations below, so it must be plausible
+  // against the bytes that actually remain (each label name plus its
+  // separator needs at least 2 bytes) — a forged huge count is an IOError
+  // here, never an unbounded reserve.
+  if (num_labels > static_cast<uint64_t>(end - cur) / 2) {
+    return Status::IOError("implausible label count " +
+                           std::to_string(num_labels) + " for " +
+                           std::to_string(end - cur) + " remaining bytes");
   }
   LabelDictionary labels;
   for (size_t i = 0; i < num_labels; ++i) {
@@ -172,6 +357,14 @@ Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
   uint64_t num_buckets = 0;
   if (!parse_u64(&num_buckets) || num_buckets == 0) {
     return Status::IOError("bad bucket count");
+  }
+  // Same plausibility gate as the label count: a bucket line is at least 8
+  // bytes ("0 1 0 0\n"), so a count past remaining/8 cannot be satisfied
+  // by the file and must not drive the reserve below.
+  if (num_buckets > static_cast<uint64_t>(end - cur) / 8 + 1) {
+    return Status::IOError("implausible bucket count " +
+                           std::to_string(num_buckets) + " for " +
+                           std::to_string(end - cur) + " remaining bytes");
   }
   std::vector<Bucket> buckets;
   buckets.reserve(num_buckets);
@@ -199,10 +392,327 @@ Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
                              std::move(*estimator)};
 }
 
+}  // namespace
+
+// ----------------------------------------------------------- binary reader
+
+bool LooksLikeBinaryCatalog(std::string_view bytes) {
+  return bytes.size() >= binfmt::kMagicBytes &&
+         std::memcmp(bytes.data(), binfmt::kMagic, binfmt::kMagicBytes) == 0;
+}
+
+namespace {
+
+Status SectionError(uint32_t id, const std::string& detail) {
+  return Status::IOError(std::string("section ") + binfmt::SectionName(id) +
+                         ": " + detail);
+}
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint32_t crc = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+}  // namespace
+
+Result<LoadedPathHistogram> ReadPathHistogramBinary(std::string_view bytes) {
+  using namespace binfmt;  // NOLINT — layout constants
+  // ---- header: every check happens before the field it gates is used.
+  if (bytes.size() < kHeaderBytes) {
+    return Status::IOError("binary catalog: truncated header (" +
+                           std::to_string(bytes.size()) + " bytes)");
+  }
+  if (!LooksLikeBinaryCatalog(bytes)) {
+    return Status::IOError("binary catalog: bad magic");
+  }
+  BoundedReader header(bytes.data(), kHeaderBytes);
+  PATHEST_RETURN_NOT_OK(header.Skip(kMagicBytes, "magic"));
+  uint32_t version = 0, section_count = 0, header_crc = 0, table_crc = 0;
+  uint64_t file_size = 0;
+  PATHEST_RETURN_NOT_OK(header.ReadU32(&version, "version"));
+  PATHEST_RETURN_NOT_OK(header.ReadU32(&section_count, "section count"));
+  PATHEST_RETURN_NOT_OK(header.ReadU64(&file_size, "file size"));
+  PATHEST_RETURN_NOT_OK(header.ReadU32(&header_crc, "header crc"));
+  PATHEST_RETURN_NOT_OK(header.ReadU32(&table_crc, "table crc"));
+  if (Crc32c(bytes.data(), kHeaderBytes - 8) != header_crc) {
+    return Status::IOError("binary catalog: header checksum mismatch");
+  }
+  // Post-CRC: the header fields are authentic; now validate them.
+  if (version != kVersion) {
+    return Status::IOError("binary catalog: unsupported format version " +
+                           std::to_string(version) + " (reader knows " +
+                           std::to_string(kVersion) + ")");
+  }
+  if (file_size != bytes.size()) {
+    return Status::IOError("binary catalog: file is " +
+                           std::to_string(bytes.size()) +
+                           " bytes but the header expects " +
+                           std::to_string(file_size) + " (truncated copy?)");
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return Status::IOError("binary catalog: implausible section count " +
+                           std::to_string(section_count));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(section_count) * kSectionEntryBytes;
+  if (kHeaderBytes + table_bytes > bytes.size()) {
+    return Status::IOError("binary catalog: truncated section table");
+  }
+  if (Crc32c(bytes.data() + kHeaderBytes, table_bytes) != table_crc) {
+    return Status::IOError("binary catalog: section table checksum mismatch");
+  }
+
+  // ---- section table: offsets/lengths bounds-checked before any access.
+  BoundedReader table(bytes.data() + kHeaderBytes, table_bytes);
+  std::vector<SectionEntry> entries(section_count);
+  uint32_t prev_id = 0;
+  for (SectionEntry& e : entries) {
+    PATHEST_RETURN_NOT_OK(table.ReadU32(&e.id, "section id"));
+    PATHEST_RETURN_NOT_OK(table.ReadU32(&e.crc, "section crc"));
+    PATHEST_RETURN_NOT_OK(table.ReadU64(&e.offset, "section offset"));
+    PATHEST_RETURN_NOT_OK(table.ReadU64(&e.length, "section length"));
+    if (e.id <= prev_id) {
+      return Status::IOError(
+          "binary catalog: section ids not strictly ascending");
+    }
+    prev_id = e.id;
+    if (e.id > kSectionComposition) {
+      return Status::IOError("binary catalog: unknown section id " +
+                             std::to_string(e.id));
+    }
+    if (e.offset < kHeaderBytes + table_bytes ||
+        e.offset > bytes.size() || e.length > bytes.size() - e.offset) {
+      return SectionError(e.id, "extent [" + std::to_string(e.offset) +
+                                    ", +" + std::to_string(e.length) +
+                                    ") outside the file");
+    }
+  }
+
+  auto find_section = [&entries](uint32_t id) -> const SectionEntry* {
+    for (const SectionEntry& e : entries) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  };
+  for (uint32_t id : {kSectionOrdering, kSectionLabels,
+                      kSectionCardinalities, kSectionHistogram}) {
+    if (find_section(id) == nullptr) {
+      return SectionError(id, "required section missing");
+    }
+  }
+
+  // Payload accessor: the CRC is verified before the first byte of a
+  // section is interpreted.
+  auto open_section = [&](const SectionEntry& e,
+                          std::string_view* out) -> Status {
+    *out = bytes.substr(e.offset, e.length);
+    if (Crc32c(out->data(), out->size()) != e.crc) {
+      return SectionError(e.id, "checksum mismatch over " +
+                                    std::to_string(e.length) + " bytes");
+    }
+    return Status::OK();
+  };
+
+  // ---- section 1: ordering identity.
+  std::string_view payload;
+  PATHEST_RETURN_NOT_OK(open_section(*find_section(kSectionOrdering),
+                                     &payload));
+  BoundedReader ord(payload);
+  std::string ordering_name, type_name;
+  uint32_t k32 = 0, reserved = 0;
+  PATHEST_RETURN_NOT_OK(
+      ord.ReadLengthPrefixedString(&ordering_name, 64, "ordering name"));
+  PATHEST_RETURN_NOT_OK(
+      ord.ReadLengthPrefixedString(&type_name, 64, "histogram type"));
+  PATHEST_RETURN_NOT_OK(ord.ReadU32(&k32, "k"));
+  PATHEST_RETURN_NOT_OK(ord.ReadU32(&reserved, "ordering reserved"));
+  if (!ord.AtEnd()) {
+    return SectionError(kSectionOrdering, "trailing bytes");
+  }
+  if (!IsSerializableOrdering(ordering_name)) {
+    return SectionError(kSectionOrdering,
+                        "unknown serialized ordering: " + ordering_name);
+  }
+  auto type = ParseHistogramType(type_name);
+  if (!type.ok()) {
+    return SectionError(kSectionOrdering, type.status().message());
+  }
+  const uint64_t k = k32;
+  if (k < 1 || k > kMaxPathLength) {
+    return SectionError(kSectionOrdering, "bad k " + std::to_string(k));
+  }
+
+  // ---- section 2: label dictionary.
+  PATHEST_RETURN_NOT_OK(open_section(*find_section(kSectionLabels),
+                                     &payload));
+  BoundedReader lab(payload);
+  uint32_t num_labels = 0;
+  PATHEST_RETURN_NOT_OK(lab.ReadU32(&num_labels, "label count"));
+  if (num_labels == 0 || num_labels > kMaxLabels) {
+    return SectionError(kSectionLabels, "implausible label count " +
+                                            std::to_string(num_labels));
+  }
+  // Each label costs at least its 4-byte length prefix.
+  PATHEST_RETURN_NOT_OK(lab.ValidateCount(num_labels, 4, "labels"));
+  LabelDictionary labels;
+  for (uint32_t i = 0; i < num_labels; ++i) {
+    std::string name;
+    PATHEST_RETURN_NOT_OK(
+        lab.ReadLengthPrefixedString(&name, kMaxLabelNameBytes, "label name"));
+    if (name.empty()) {
+      return SectionError(kSectionLabels, "empty label name");
+    }
+    if (labels.Intern(name) != i) {
+      return SectionError(kSectionLabels, "duplicate label name: " + name);
+    }
+  }
+  if (!lab.AtEnd()) return SectionError(kSectionLabels, "trailing bytes");
+
+  // ---- section 3: cardinalities.
+  PATHEST_RETURN_NOT_OK(open_section(*find_section(kSectionCardinalities),
+                                     &payload));
+  BoundedReader car(payload);
+  uint32_t card_count = 0;
+  PATHEST_RETURN_NOT_OK(car.ReadU32(&card_count, "cardinality count"));
+  PATHEST_RETURN_NOT_OK(car.ReadU32(&reserved, "cardinalities reserved"));
+  if (card_count != num_labels) {
+    return SectionError(kSectionCardinalities,
+                        "count " + std::to_string(card_count) +
+                            " does not match " + std::to_string(num_labels) +
+                            " labels");
+  }
+  PATHEST_RETURN_NOT_OK(car.ValidateCount(card_count, 8, "cardinalities"));
+  std::vector<uint64_t> cards;
+  cards.reserve(card_count);
+  for (uint32_t i = 0; i < card_count; ++i) {
+    uint64_t f = 0;
+    PATHEST_RETURN_NOT_OK(car.ReadU64(&f, "cardinality"));
+    cards.push_back(f);
+  }
+  if (!car.AtEnd()) {
+    return SectionError(kSectionCardinalities, "trailing bytes");
+  }
+
+  // ---- section 4: histogram SoA rows.
+  PATHEST_RETURN_NOT_OK(open_section(*find_section(kSectionHistogram),
+                                     &payload));
+  BoundedReader his(payload);
+  uint64_t num_buckets = 0;
+  PATHEST_RETURN_NOT_OK(his.ReadU64(&num_buckets, "bucket count"));
+  if (num_buckets == 0) {
+    return SectionError(kSectionHistogram, "zero buckets");
+  }
+  // Four u64 rows of num_buckets each — validated as a whole before the
+  // bucket vector is sized from the untrusted count.
+  PATHEST_RETURN_NOT_OK(his.ValidateCount(num_buckets, 32, "buckets"));
+  std::vector<Bucket> buckets(num_buckets);
+  for (Bucket& b : buckets) {
+    PATHEST_RETURN_NOT_OK(his.ReadU64(&b.begin, "bucket begins"));
+  }
+  for (Bucket& b : buckets) {
+    PATHEST_RETURN_NOT_OK(his.ReadU64(&b.end, "bucket ends"));
+  }
+  for (Bucket& b : buckets) {
+    PATHEST_RETURN_NOT_OK(his.ReadDouble(&b.sum, "bucket sums"));
+  }
+  for (Bucket& b : buckets) {
+    PATHEST_RETURN_NOT_OK(his.ReadDouble(&b.sumsq, "bucket sumsqs"));
+  }
+  if (!his.AtEnd()) return SectionError(kSectionHistogram, "trailing bytes");
+
+  // ---- section 5: composition table (sum family only).
+  const SectionEntry* comp_entry = find_section(kSectionComposition);
+  if (IsSumFamilyOrdering(ordering_name) != (comp_entry != nullptr)) {
+    return SectionError(kSectionComposition,
+                        comp_entry == nullptr
+                            ? "missing for sum-family ordering"
+                            : "present for non-sum ordering");
+  }
+  if (comp_entry != nullptr) {
+    PATHEST_RETURN_NOT_OK(open_section(*comp_entry, &payload));
+    BoundedReader com(payload);
+    uint32_t comp_labels = 0, comp_k = 0;
+    uint64_t num_values = 0;
+    PATHEST_RETURN_NOT_OK(com.ReadU32(&comp_labels, "composition |L|"));
+    PATHEST_RETURN_NOT_OK(com.ReadU32(&comp_k, "composition k"));
+    PATHEST_RETURN_NOT_OK(com.ReadU64(&num_values, "composition count"));
+    if (comp_labels != num_labels || comp_k != k) {
+      return SectionError(kSectionComposition,
+                          "shape (|L|=" + std::to_string(comp_labels) +
+                              ", k=" + std::to_string(comp_k) +
+                              ") does not match the catalog");
+    }
+    uint64_t expected_values = 0;
+    for (uint64_t m = 1; m <= k; ++m) {
+      expected_values += m * num_labels - m + 1;
+    }
+    if (num_values != expected_values) {
+      return SectionError(kSectionComposition,
+                          "value count " + std::to_string(num_values) +
+                              " (expected " + std::to_string(expected_values) +
+                              ")");
+    }
+    PATHEST_RETURN_NOT_OK(
+        com.ValidateCount(num_values, 8, "composition values"));
+    // Semantic integrity beyond the CRC: the persisted stage-2 rows must be
+    // exactly what the ordering will rebuild from (|L|, k) — a mismatch
+    // means a wrong-but-well-formed file, the one corruption class a
+    // checksum of the file alone cannot see.
+    CompositionTable expected(num_labels, k);
+    for (uint64_t m = 1; m <= k; ++m) {
+      for (uint64_t sum = m; sum <= m * num_labels; ++sum) {
+        uint64_t v = 0;
+        PATHEST_RETURN_NOT_OK(com.ReadU64(&v, "composition value"));
+        if (v != expected.Count(sum, m)) {
+          return SectionError(
+              kSectionComposition,
+              "value mismatch at (m=" + std::to_string(m) +
+                  ", sum=" + std::to_string(sum) + "): file has " +
+                  std::to_string(v) + ", recomputed " +
+                  std::to_string(expected.Count(sum, m)));
+        }
+      }
+    }
+    if (!com.AtEnd()) {
+      return SectionError(kSectionComposition, "trailing bytes");
+    }
+  }
+
+  // ---- assembly (shared semantic validation with the text path).
+  auto histogram = Histogram::FromBuckets(std::move(buckets));
+  if (!histogram.ok()) {
+    return SectionError(kSectionHistogram,
+                        "invalid buckets: " + histogram.status().message());
+  }
+  auto ordering = MakeOrderingFromStats(ordering_name, labels, cards, k);
+  if (!ordering.ok()) return ordering.status();
+  auto estimator = PathHistogram::FromParts(std::move(*ordering),
+                                            std::move(*histogram), *type);
+  if (!estimator.ok()) return estimator.status();
+  return LoadedPathHistogram{std::move(labels), std::move(cards),
+                             std::move(*estimator)};
+}
+
+// --------------------------------------------------------------- dispatch
+
+Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in) {
+  std::string content{std::istreambuf_iterator<char>(*in),
+                      std::istreambuf_iterator<char>()};
+  if (LooksLikeBinaryCatalog(content)) {
+    return ReadPathHistogramBinary(content);
+  }
+  return ReadPathHistogramText(content);
+}
+
 Result<LoadedPathHistogram> LoadPathHistogram(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IOError("cannot open: " + path);
-  return ReadPathHistogram(&in);
+  std::string content;
+  PATHEST_RETURN_NOT_OK(ReadFileToString(path, &content));
+  if (LooksLikeBinaryCatalog(content)) {
+    return ReadPathHistogramBinary(content);
+  }
+  return ReadPathHistogramText(content);
 }
 
 }  // namespace pathest

@@ -2,57 +2,168 @@
 //
 // A production optimizer keeps its statistics in the catalog and reloads
 // them at startup rather than rescanning the data. This module serializes a
-// PathHistogram (ordering identity + ranking state + buckets) to a
-// versioned, human-auditable text format and reconstructs a working
-// estimator from it WITHOUT access to the original selectivities.
+// PathHistogram (ordering identity + ranking state + buckets) in two
+// formats and reconstructs a working estimator WITHOUT access to the
+// original selectivities:
 //
-// Format ("pathest-histogram v1"), line-oriented:
+//   - a versioned, human-auditable TEXT format (the interchange/debug
+//     path), and
+//   - a versioned, checksummed BINARY catalog (format v1, below) — the
+//     serving format, whose section layout is designed so a future tier
+//     can mmap it and fix up pointers instead of parsing.
+//
+// LoadPathHistogram sniffs the leading magic and dispatches, so every
+// caller (CLI, catalog, benches) reads both formats transparently.
+//
+// ---------------------------------------------------------------------------
+// Text format ("pathest-histogram v1"), line-oriented:
 //   pathest-histogram v1
 //   ordering <name>
+//   type <histogram-type>
 //   k <k>
 //   labels <n> <name_1> ... <name_n>         # label id order
 //   cardinalities <f_1> ... <f_n>            # for reconstructing rankings
 //   buckets <beta>
-//   <begin> <end> <sum> <sumsq>              # beta lines
+//   <begin> <end> <sum> <sumsq>              # beta lines, sums in hexfloat
+//
+// ---------------------------------------------------------------------------
+// Binary catalog format v1 ("PESTB1"). All fields little-endian,
+// fixed-width; doubles travel as their IEEE-754 bit pattern in a u64
+// (bit-exact round trips, no locale, no hexfloat parsing).
+//
+// Header (32 bytes):
+//   offset  size  field
+//   0       8     magic: 89 'P' 'E' 'S' 'T' 'B' '1' 0A
+//                 (high-bit lead byte + trailing \n, PNG-style: a text
+//                 transfer that mangles either is caught at the magic)
+//   8       4     u32 format version (= 1)
+//   12      4     u32 section count
+//   16      8     u64 total file size (must equal the actual byte count —
+//                 truncation and padding are caught before any section CRC)
+//   24      4     u32 CRC32C over header bytes [0, 24)
+//   28      4     u32 CRC32C over the section table bytes
+//
+// Section table (24 bytes per entry, immediately after the header):
+//   u32 section id      u32 CRC32C of the payload
+//   u64 absolute offset u64 payload length
+// Entries are sorted by ascending id; ids must be unique and known.
+// Payloads follow the table back to back, but readers MUST navigate via
+// the table (offset/length), never by accumulation — that is what makes
+// the layout extensible and each section independently verifiable.
+//
+// Section payloads (every CRC is verified BEFORE its payload is parsed;
+// every count is bounds-checked against the payload size before any
+// allocation — see util/safe_io.h BoundedReader):
+//   1 ordering       lpstr ordering-name, lpstr histogram-type, u32 k,
+//                    u32 reserved(0)          (lpstr = u32 length + bytes)
+//   2 labels         u32 n, then n lpstr names in label-id order
+//   3 cardinalities  u32 n (== labels n), u32 reserved(0), n × u64 f(l)
+//   4 histogram      u64 beta, then FOUR structure-of-arrays rows of beta
+//                    u64s each: begin[], end[], sum-bits[], sumsq-bits[]
+//                    (column-major — the serving FlatHistogram layout, so
+//                    the future mmap tier can point straight at the rows)
+//   5 composition    u32 |L|, u32 k, u64 value-count, then for each
+//                    m in [1, k] the row Count(sum, m) for
+//                    sum in [m, m·|L|] — the sum-based ordering's stage-2
+//                    CompositionTable. Present iff the ordering is of the
+//                    sum family; verified against a freshly built table on
+//                    load (semantic integrity beyond the CRC).
+//
+// Versioning/compat rules: the major version in the header is bumped on
+// ANY layout change to existing sections; readers reject versions they do
+// not know. New OPTIONAL sections may be added under new ids without a
+// version bump only once readers skip unknown ids — v1 readers do NOT
+// (unknown ids are an error), so v1 writers must emit exactly the sections
+// above. The committed golden catalog (tests/golden/) pins this layout
+// byte-for-byte against accidental drift.
+//
+// Corruption contract (enforced by tests/fault_injection_test.cc): any
+// truncation, bit flip, or forged length/count in a catalog file yields a
+// typed Status from the loader — never a crash, hang, unbounded
+// allocation, or silently wrong estimator.
 //
 // Only closed-form orderings (num-*, lex-*, sum-*, gray-*) round-trip:
 // ideal/random/sum-L2 materialize O(|L_k|) state whose persistence would
 // defeat the purpose of the histogram (the paper's argument for why ideal
 // ordering is impractical, now visible as an API boundary).
 //
-// Round-trip timing note: the reader slurps the stream once and parses
-// with std::from_chars over the raw bytes (strtod only for the hexfloat
-// bucket sums) instead of per-line istringstream extraction; on a
-// β = 27993 catalog this took ReadPathHistogram — parse plus estimator
-// reconstruction — from ~15.5 ms to ~8.0 ms (best of 20, 1-core
-// container), about 1.9× end to end and more on the parse itself. The
-// writer is unchanged: catalog saves are rare and the hexfloat encoding
-// is what guarantees bit-exact double round-trips.
+// Timing note (β = 27993 catalog, 1-core container): the text reader —
+// slurp + from_chars cursor — costs ~8 ms end to end; the binary reader
+// replaces parsing with CRC walks plus memcpy and is the reason the
+// serving path prefers this format (see BENCH_catalog_io.json).
 
 #ifndef PATHEST_CORE_SERIALIZE_H_
 #define PATHEST_CORE_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "core/path_histogram.h"
 #include "util/status.h"
 
 namespace pathest {
 
+/// \brief On-disk representation of a persisted estimator.
+enum class CatalogFormat {
+  kText,    // line-oriented, human-auditable (interchange/debug)
+  kBinary,  // checksummed section-table binary v1 (serving)
+};
+
+const char* CatalogFormatName(CatalogFormat format);
+Result<CatalogFormat> ParseCatalogFormat(const std::string& name);
+
+/// Binary-format layout constants, exported so the fault-injection harness
+/// (util/fault_injection.h) and the format tests can compute section
+/// boundaries without a parallel definition of the layout.
+namespace binfmt {
+
+inline constexpr size_t kMagicBytes = 8;
+inline constexpr unsigned char kMagic[kMagicBytes] = {0x89, 'P',  'E', 'S',
+                                                      'T',  'B',  '1', 0x0A};
+inline constexpr uint32_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 32;
+inline constexpr size_t kSectionEntryBytes = 24;
+/// Hard ceiling on the section count a reader will consider (v1 writes at
+/// most 5); anything larger is a forged header.
+inline constexpr uint32_t kMaxSections = 64;
+
+enum SectionId : uint32_t {
+  kSectionOrdering = 1,
+  kSectionLabels = 2,
+  kSectionCardinalities = 3,
+  kSectionHistogram = 4,
+  kSectionComposition = 5,
+};
+
+/// \brief Stable name of a section id ("ordering", ...; "?" if unknown).
+const char* SectionName(uint32_t id);
+
+}  // namespace binfmt
+
 /// \brief True when `ordering_name` can be reconstructed from label
 /// cardinalities alone (no O(|L_k|) state).
 bool IsSerializableOrdering(const std::string& ordering_name);
 
-/// \brief Writes the estimator to a stream.
+/// \brief Writes the estimator to a stream in the text format.
 Status WritePathHistogram(const PathHistogram& estimator,
                           const LabelDictionary& labels,
                           const std::vector<uint64_t>& label_cardinalities,
                           std::ostream* out);
 
-/// \brief Saves the estimator to a file.
+/// \brief Serializes the estimator into `*out` in binary catalog v1.
+Status WritePathHistogramBinary(const PathHistogram& estimator,
+                                const LabelDictionary& labels,
+                                const std::vector<uint64_t>& cardinalities,
+                                std::string* out);
+
+/// \brief Saves the estimator to a file via an atomic write (temp + fsync +
+/// rename; util/safe_io.h): a crashed or failed save leaves any previous
+/// file at `path` byte-identical.
 Status SavePathHistogram(const PathHistogram& estimator, const Graph& graph,
-                         const std::string& path);
+                         const std::string& path,
+                         CatalogFormat format = CatalogFormat::kText);
 
 /// \brief A deserialized estimator plus the label dictionary it carries.
 struct LoadedPathHistogram {
@@ -61,15 +172,24 @@ struct LoadedPathHistogram {
   PathHistogram estimator;
 };
 
-/// \brief Reads an estimator from a stream.
+/// \brief True when `bytes` begins with the binary catalog magic.
+bool LooksLikeBinaryCatalog(std::string_view bytes);
+
+/// \brief Parses a binary catalog v1 from an in-memory byte buffer,
+/// verifying every checksum before interpreting any section.
+Result<LoadedPathHistogram> ReadPathHistogramBinary(std::string_view bytes);
+
+/// \brief Reads an estimator from a stream, sniffing the format.
 ///
 /// The reader slurps the stream to EOF before parsing (that is what makes
-/// the from_chars cursor fast), so the histogram must be the stream's only
-/// content: any bytes after the last bucket are consumed and ignored, and
-/// a second ReadPathHistogram on the same stream sees an empty stream.
+/// both the from_chars text cursor and the checksum walk fast), so the
+/// histogram must be the stream's only content: any bytes after the end
+/// are consumed, and a second ReadPathHistogram on the same stream sees an
+/// empty stream. Streams carrying a binary catalog must have been opened
+/// in binary mode.
 Result<LoadedPathHistogram> ReadPathHistogram(std::istream* in);
 
-/// \brief Loads an estimator from a file.
+/// \brief Loads an estimator from a file (either format, sniffed).
 Result<LoadedPathHistogram> LoadPathHistogram(const std::string& path);
 
 }  // namespace pathest

@@ -1,5 +1,7 @@
 #include "engine/thread_pool.h"
 
+#include <utility>
+
 namespace pathest {
 
 size_t ThreadPool::DefaultThreads() {
@@ -28,7 +30,16 @@ void ThreadPool::DrainJob(size_t worker) {
   for (;;) {
     const size_t i = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (i >= job_size_) return;
-    (*task_)(i, worker);
+    try {
+      (*task_)(i, worker);
+    } catch (...) {
+      // Worker-boundary catch: letting this escape a worker thread would
+      // std::terminate the whole process. Record the first exception and
+      // stop issuing new indices; ParallelFor rethrows after the drain.
+      next_index_.store(job_size_, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
   }
 }
 
@@ -50,6 +61,9 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
 void ThreadPool::ParallelFor(size_t n, const Task& task) {
   if (n == 0) return;
   if (workers_.empty() || n == 1) {
+    // Genuinely serial: an exception propagates directly from the task —
+    // observably the same "rethrown from ParallelFor" contract, with no
+    // worker boundary to cross.
     for (size_t i = 0; i < n; ++i) task(i, 0);
     return;
   }
@@ -59,6 +73,7 @@ void ThreadPool::ParallelFor(size_t n, const Task& task) {
     job_size_ = n;
     next_index_.store(0, std::memory_order_relaxed);
     unfinished_workers_ = workers_.size();
+    first_exception_ = nullptr;
     ++generation_;
   }
   wake_.notify_all();
@@ -67,6 +82,11 @@ void ThreadPool::ParallelFor(size_t n, const Task& task) {
   done_.wait(lock, [&] { return unfinished_workers_ == 0; });
   task_ = nullptr;
   job_size_ = 0;
+  if (first_exception_) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 }  // namespace pathest

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -49,8 +50,16 @@ class ThreadPool {
 
   /// \brief Runs task(i, worker) for every i in [0, n), blocking until all
   /// complete. Indices are distributed dynamically via an atomic counter;
-  /// each runs exactly once. Tasks must not throw. With num_threads() == 1
-  /// (or n <= 1) this degenerates to a plain serial loop on the caller.
+  /// each started index runs exactly once. With num_threads() == 1 (or
+  /// n <= 1) this degenerates to a plain serial loop on the caller.
+  ///
+  /// Exception contract: a throwing task no longer std::terminate()s the
+  /// process. The exception is caught at the worker boundary, no FURTHER
+  /// indices are issued (in-flight ones finish), and the first-recorded
+  /// exception is rethrown from ParallelFor on the calling thread after
+  /// the job drains — so indices past the failure point may never run,
+  /// and under parallelism "first" is the first CAUGHT, not the lowest
+  /// index. The pool itself stays healthy and reusable afterwards.
   void ParallelFor(size_t n, const Task& task);
 
   /// \brief std::thread::hardware_concurrency with a floor of 1.
@@ -74,6 +83,9 @@ class ThreadPool {
   uint64_t generation_ = 0;  // bumped once per job so sleepers can't re-run it
   size_t unfinished_workers_ = 0;
   bool shutdown_ = false;
+  // First exception caught from a task of the current job (guarded by mu_);
+  // rethrown by ParallelFor once the job has fully drained.
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace pathest

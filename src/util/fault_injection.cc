@@ -1,0 +1,151 @@
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <fstream>
+
+// Test-support inversion: the harness must speak the binary-catalog layout,
+// whose single definition lives in core/serialize.h (binfmt). Production
+// util code does not depend on core; this file is tooling for the tests.
+#include "core/serialize.h"
+#include "util/crc32c.h"
+
+namespace pathest {
+
+Result<std::vector<BinarySectionInfo>> ParseBinarySectionTable(
+    std::string_view bytes) {
+  using namespace binfmt;  // NOLINT — layout constants
+  if (bytes.size() < kHeaderBytes) {
+    return Status::IOError("image too short for a header");
+  }
+  BoundedReader header(bytes.data(), kHeaderBytes);
+  PATHEST_RETURN_NOT_OK(header.Skip(kMagicBytes + 4, "magic+version"));
+  uint32_t section_count = 0;
+  PATHEST_RETURN_NOT_OK(header.ReadU32(&section_count, "section count"));
+  if (section_count > kMaxSections) {
+    return Status::IOError("implausible section count in image");
+  }
+  const size_t table_bytes = section_count * kSectionEntryBytes;
+  if (bytes.size() < kHeaderBytes + table_bytes) {
+    return Status::IOError("image too short for its section table");
+  }
+  BoundedReader table(bytes.data() + kHeaderBytes, table_bytes);
+  std::vector<BinarySectionInfo> sections(section_count);
+  for (BinarySectionInfo& s : sections) {
+    PATHEST_RETURN_NOT_OK(table.ReadU32(&s.id, "id"));
+    PATHEST_RETURN_NOT_OK(table.ReadU32(&s.crc, "crc"));
+    PATHEST_RETURN_NOT_OK(table.ReadU64(&s.offset, "offset"));
+    PATHEST_RETURN_NOT_OK(table.ReadU64(&s.length, "length"));
+  }
+  return sections;
+}
+
+std::vector<size_t> TruncationPoints(std::string_view bytes) {
+  std::vector<size_t> points;
+  // Byte-granularity over the fixed header — the region where every field
+  // gates a different validation path.
+  for (size_t i = 0; i <= binfmt::kHeaderBytes && i < bytes.size(); ++i) {
+    points.push_back(i);
+  }
+  auto sections = ParseBinarySectionTable(bytes);
+  if (sections.ok()) {
+    for (const BinarySectionInfo& s : *sections) {
+      // Both edges and the midpoint of every section payload.
+      points.push_back(s.offset);
+      points.push_back(s.offset + s.length / 2);
+      points.push_back(s.offset + s.length);
+    }
+    if (!sections->empty()) {
+      // End of the section table (= start of the first payload region).
+      points.push_back(binfmt::kHeaderBytes +
+                       sections->size() * binfmt::kSectionEntryBytes);
+    }
+  }
+  std::sort(points.begin(), points.end());
+  points.erase(std::unique(points.begin(), points.end()), points.end());
+  // Truncations only: drop any point at or past the full size.
+  while (!points.empty() && points.back() >= bytes.size()) points.pop_back();
+  return points;
+}
+
+Status FlipBit(std::string* bytes, size_t offset, int bit) {
+  if (offset >= bytes->size() || bit < 0 || bit > 7) {
+    return Status::InvalidArgument("flip outside the image");
+  }
+  (*bytes)[offset] = static_cast<char>(
+      static_cast<unsigned char>((*bytes)[offset]) ^ (1u << bit));
+  return Status::OK();
+}
+
+Status PatchSectionPayload(std::string* bytes, uint32_t section_id,
+                           size_t offset_in_payload,
+                           std::string_view replacement) {
+  using namespace binfmt;  // NOLINT — layout constants
+  auto sections = ParseBinarySectionTable(*bytes);
+  PATHEST_RETURN_NOT_OK(sections.status());
+  for (size_t idx = 0; idx < sections->size(); ++idx) {
+    const BinarySectionInfo& s = (*sections)[idx];
+    if (s.id != section_id) continue;
+    if (offset_in_payload + replacement.size() > s.length ||
+        s.offset + s.length > bytes->size()) {
+      return Status::InvalidArgument("patch outside the section payload");
+    }
+    bytes->replace(s.offset + offset_in_payload, replacement.size(),
+                   replacement.data(), replacement.size());
+    // Refresh the section CRC in its table entry (entry layout: id, crc,
+    // offset, length)…
+    const uint32_t new_crc =
+        Crc32c(bytes->data() + s.offset, static_cast<size_t>(s.length));
+    std::string crc_le;
+    AppendU32(&crc_le, new_crc);
+    const size_t entry_at = kHeaderBytes + idx * kSectionEntryBytes;
+    bytes->replace(entry_at + 4, 4, crc_le);
+    // …and the table CRC in the header (at kHeaderBytes - 4), since the
+    // table bytes just changed.
+    const size_t table_bytes = sections->size() * kSectionEntryBytes;
+    std::string table_crc_le;
+    AppendU32(&table_crc_le, Crc32c(bytes->data() + kHeaderBytes,
+                                    table_bytes));
+    bytes->replace(kHeaderBytes - 4, 4, table_crc_le);
+    return Status::OK();
+  }
+  return Status::NotFound("section id " + std::to_string(section_id) +
+                          " not present");
+}
+
+Status WriteFileBytes(const std::string& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc | std::ios::binary);
+  if (!out.is_open()) return Status::IOError("cannot write: " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFileBytes(const std::string& path) {
+  std::string out;
+  PATHEST_RETURN_NOT_OK(ReadFileToString(path, &out));
+  return out;
+}
+
+Status ScriptedWriteFaults::OnWrite(size_t already_written, size_t chunk,
+                                    size_t* allowed) {
+  if (fail_write_at_byte == SIZE_MAX ||
+      already_written + chunk <= fail_write_at_byte) {
+    return Status::OK();
+  }
+  // Land the torn prefix, then fail.
+  *allowed = fail_write_at_byte > already_written
+                 ? fail_write_at_byte - already_written
+                 : 0;
+  return Status::IOError("scripted write fault");
+}
+
+Status ScriptedWriteFaults::OnSync() {
+  return fail_sync ? Status::IOError("scripted fsync fault") : Status::OK();
+}
+
+Status ScriptedWriteFaults::OnRename() {
+  return fail_rename ? Status::IOError("scripted rename fault")
+                     : Status::OK();
+}
+
+}  // namespace pathest

@@ -1,0 +1,103 @@
+// pathest: corruption and crash-simulation harness for the binary catalog
+// — TEST SUPPORT, not part of the serving surface.
+//
+// The robustness contract of the storage layer (core/serialize.h) is only
+// as real as the faults it has survived. This module gives the
+// fault-injection suite (tests/fault_injection_test.cc) the tools to take
+// one VALID catalog file and systematically derive every corrupt variant:
+//
+//   - truncations at arbitrary byte counts (tests sweep the header at byte
+//     granularity and every section boundary),
+//   - single-bit flips anywhere (caught by the section/header CRCs),
+//   - forged length/count fields WITH the covering CRC refreshed, so the
+//     corruption gets past the checksum walk and exercises the
+//     BoundedReader count validation itself (the OOM-from-a-forged-count
+//     class the CRC alone would mask in tests),
+//   - crashed saves: ScriptedWriteFaults plugs into the safe_io injector
+//     hook to kill a save at any write offset, at fsync, or at rename.
+//
+// Everything here speaks the layout constants exported by
+// core/serialize.h's binfmt namespace — there is no second definition of
+// the format to drift.
+
+#ifndef PATHEST_UTIL_FAULT_INJECTION_H_
+#define PATHEST_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/safe_io.h"
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief One section-table row of a binary catalog, as read from bytes.
+struct BinarySectionInfo {
+  uint32_t id = 0;
+  uint32_t crc = 0;
+  uint64_t offset = 0;
+  uint64_t length = 0;
+};
+
+/// \brief Parses the section table of a binary catalog image (header CRCs
+/// are NOT required to be valid — the harness reads what is there). Fails
+/// only when the bytes are too short to hold the claimed table.
+Result<std::vector<BinarySectionInfo>> ParseBinarySectionTable(
+    std::string_view bytes);
+
+/// \brief Every interesting truncation point of a catalog image: 0, each
+/// byte of the header, the table end, and both edges and the midpoint of
+/// every section. Sorted, deduplicated, all strictly < bytes.size().
+std::vector<size_t> TruncationPoints(std::string_view bytes);
+
+/// \brief Flips bit `bit` (0-7) of byte `offset` in place.
+Status FlipBit(std::string* bytes, size_t offset, int bit);
+
+/// \brief Overwrites `replacement.size()` bytes at `offset_in_payload`
+/// inside section `section_id`'s payload AND refreshes that section's CRC
+/// plus the header's table CRC, so the forgery survives the checksum walk
+/// and reaches the parser. Fails if the section is absent or the patch
+/// falls outside its payload.
+Status PatchSectionPayload(std::string* bytes, uint32_t section_id,
+                           size_t offset_in_payload,
+                           std::string_view replacement);
+
+/// \brief Plain (non-atomic) byte-level file helpers for planting corrupt
+/// images on disk. Test-support: the PRODUCT write path is AtomicWriteFile.
+Status WriteFileBytes(const std::string& path, std::string_view bytes);
+Result<std::string> ReadFileBytes(const std::string& path);
+
+/// \brief Scriptable WriteFaultInjector: fails the save at a chosen write
+/// offset (landing a short write first, like a real torn write), at fsync,
+/// or at rename. Install via SetWriteFaultInjectorForTesting.
+class ScriptedWriteFaults : public WriteFaultInjector {
+ public:
+  /// No fault by default; set exactly the stage to kill.
+  size_t fail_write_at_byte = SIZE_MAX;  // fail once written_ would pass this
+  bool fail_sync = false;
+  bool fail_rename = false;
+
+  Status OnWrite(size_t already_written, size_t chunk,
+                 size_t* allowed) override;
+  Status OnSync() override;
+  Status OnRename() override;
+
+  /// \brief RAII installation for a test scope.
+  class Install {
+   public:
+    explicit Install(ScriptedWriteFaults* faults)
+        : previous_(SetWriteFaultInjectorForTesting(faults)) {}
+    ~Install() { SetWriteFaultInjectorForTesting(previous_); }
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+   private:
+    WriteFaultInjector* previous_;
+  };
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_FAULT_INJECTION_H_

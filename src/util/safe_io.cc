@@ -1,0 +1,255 @@
+#include "util/safe_io.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+namespace pathest {
+
+namespace {
+
+WriteFaultInjector* g_write_faults = nullptr;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+// Directory of `path` for the post-rename directory fsync ("" = cwd ".").
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+WriteFaultInjector* SetWriteFaultInjectorForTesting(
+    WriteFaultInjector* injector) {
+  WriteFaultInjector* prev = g_write_faults;
+  g_write_faults = injector;
+  return prev;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : final_path_(std::move(path)),
+      tmp_path_(final_path_ + ".tmp." + std::to_string(::getpid())) {}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abandon();
+}
+
+Status AtomicFileWriter::Open() {
+  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    return Status::IOError(ErrnoMessage("cannot create temp file", tmp_path_));
+  }
+  written_ = 0;
+  committed_ = false;
+  return Status::OK();
+}
+
+Status AtomicFileWriter::FailAndCleanup(std::string msg) {
+  Abandon();
+  return Status::IOError(std::move(msg));
+}
+
+Status AtomicFileWriter::Append(const void* data, size_t n) {
+  if (fd_ < 0) return Status::IOError("atomic writer not open");
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (n > 0) {
+    size_t chunk = n;
+    if (g_write_faults != nullptr) {
+      size_t allowed = chunk;
+      Status st = g_write_faults->OnWrite(written_, chunk, &allowed);
+      if (allowed < chunk) chunk = allowed;
+      if (!st.ok()) {
+        // An injected crash may still land a short write first — exactly
+        // the torn-write shape a real power loss produces.
+        if (chunk > 0) (void)::write(fd_, p, chunk);
+        return FailAndCleanup("injected write failure after " +
+                              std::to_string(written_ + chunk) + " bytes: " +
+                              st.message());
+      }
+    }
+    const ssize_t wrote = ::write(fd_, p, chunk);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return FailAndCleanup(ErrnoMessage("write failed", tmp_path_));
+    }
+    p += wrote;
+    n -= static_cast<size_t>(wrote);
+    written_ += static_cast<size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status AtomicFileWriter::Commit() {
+  if (fd_ < 0) return Status::IOError("atomic writer not open");
+  if (g_write_faults != nullptr) {
+    Status st = g_write_faults->OnSync();
+    if (!st.ok()) {
+      return FailAndCleanup("injected fsync failure: " + st.message());
+    }
+  }
+  if (::fsync(fd_) != 0) {
+    return FailAndCleanup(ErrnoMessage("fsync failed", tmp_path_));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return FailAndCleanup(ErrnoMessage("close failed", tmp_path_));
+  }
+  fd_ = -1;
+  if (g_write_faults != nullptr) {
+    Status st = g_write_faults->OnRename();
+    if (!st.ok()) {
+      return FailAndCleanup("injected rename failure: " + st.message());
+    }
+  }
+  if (::rename(tmp_path_.c_str(), final_path_.c_str()) != 0) {
+    return FailAndCleanup(ErrnoMessage(
+        "rename to '" + final_path_ + "' failed from", tmp_path_));
+  }
+  committed_ = true;
+  // Durability of the rename itself: fsync the parent directory. A failure
+  // here is reported, but the file is already visible and complete.
+  const std::string dir = ParentDir(final_path_);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    const int rc = ::fsync(dir_fd);
+    ::close(dir_fd);
+    if (rc != 0) {
+      return Status::IOError(ErrnoMessage("directory fsync failed", dir));
+    }
+  }
+  return Status::OK();
+}
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_) ::unlink(tmp_path_.c_str());
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents) {
+  AtomicFileWriter writer(path);
+  PATHEST_RETURN_NOT_OK(writer.Open());
+  PATHEST_RETURN_NOT_OK(writer.Append(contents));
+  return writer.Commit();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open: " + path);
+  std::string content{std::istreambuf_iterator<char>(in),
+                      std::istreambuf_iterator<char>()};
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  *out = std::move(content);
+  return Status::OK();
+}
+
+namespace {
+Status Truncated(const char* what) {
+  return Status::IOError(std::string("truncated reading ") + what);
+}
+}  // namespace
+
+Status BoundedReader::ReadBytes(void* out, size_t n, const char* what) {
+  if (remaining() < n) return Truncated(what);
+  std::memcpy(out, cur_, n);
+  cur_ += n;
+  return Status::OK();
+}
+
+Status BoundedReader::ReadU32(uint32_t* out, const char* what) {
+  uint8_t b[4];
+  PATHEST_RETURN_NOT_OK(ReadBytes(b, 4, what));
+  *out = static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+  return Status::OK();
+}
+
+Status BoundedReader::ReadU64(uint64_t* out, const char* what) {
+  uint8_t b[8];
+  PATHEST_RETURN_NOT_OK(ReadBytes(b, 8, what));
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  *out = v;
+  return Status::OK();
+}
+
+Status BoundedReader::ReadDouble(double* out, const char* what) {
+  uint64_t bits = 0;
+  PATHEST_RETURN_NOT_OK(ReadU64(&bits, what));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status BoundedReader::ReadLengthPrefixedString(std::string* out,
+                                               size_t max_len,
+                                               const char* what) {
+  uint32_t len = 0;
+  PATHEST_RETURN_NOT_OK(ReadU32(&len, what));
+  if (len > max_len) {
+    return Status::IOError(std::string("implausible length ") +
+                           std::to_string(len) + " reading " + what +
+                           " (max " + std::to_string(max_len) + ")");
+  }
+  if (remaining() < len) return Truncated(what);
+  out->assign(reinterpret_cast<const char*>(cur_), len);
+  cur_ += len;
+  return Status::OK();
+}
+
+Status BoundedReader::Skip(size_t n, const char* what) {
+  if (remaining() < n) return Truncated(what);
+  cur_ += n;
+  return Status::OK();
+}
+
+Status BoundedReader::ValidateCount(uint64_t count, uint64_t elem_bytes,
+                                    const char* what) const {
+  // Overflow-safe: count <= remaining / elem_bytes avoids count * elem_bytes.
+  if (elem_bytes == 0 || count > remaining() / elem_bytes) {
+    return Status::IOError(
+        std::string("implausible count ") + std::to_string(count) + " of " +
+        what + " (" + std::to_string(elem_bytes) + " bytes each, " +
+        std::to_string(remaining()) + " bytes remain)");
+  }
+  return Status::OK();
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(b, 4);
+}
+
+void AppendU64(std::string* out, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  out->append(b, 8);
+}
+
+void AppendDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(v));
+  AppendU64(out, bits);
+}
+
+void AppendLengthPrefixedString(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s.data(), s.size());
+}
+
+}  // namespace pathest

@@ -1,0 +1,172 @@
+// pathest: crash-safe file writing and bounds-checked binary reading — the
+// durability substrate of the binary catalog (core/serialize.h).
+//
+// Two invariants this module enforces for every catalog on disk:
+//
+//   1. No partially-written file is ever visible at its final path.
+//      AtomicFileWriter stages all bytes in `<path>.tmp.<pid>`, fsyncs the
+//      file AND its directory, and publishes with a POSIX rename — which is
+//      atomic with respect to concurrent readers and crashes. A failure at
+//      any step (short write, failed fsync, failed rename, process death)
+//      leaves the previous file at `path` byte-identical and unlinks the
+//      temp file on the error path.
+//
+//   2. No length or count field read from a file is trusted before it is
+//      checked against the bytes that actually exist. BoundedReader is a
+//      cursor over an in-memory buffer whose every read is bounds-checked
+//      and whose ValidateCount() must be called before sizing any
+//      allocation from file data — a forged 2^60 element count yields an
+//      IOError, never an OOM.
+//
+// Fault injection: SetWriteFaultInjectorForTesting installs a process-wide
+// hook consulted by AtomicFileWriter at each write/sync/rename so the
+// fault-injection suite (util/fault_injection.h) can simulate crashes at
+// every stage of a save. Test-only; not thread-safe against concurrent
+// writers.
+
+#ifndef PATHEST_UTIL_SAFE_IO_H_
+#define PATHEST_UTIL_SAFE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Test hook simulating crashes inside an atomic save. Every method
+/// returning non-OK makes the writer fail (and clean up) at that point.
+class WriteFaultInjector {
+ public:
+  virtual ~WriteFaultInjector() = default;
+
+  /// Called before writing `chunk` bytes (having durably accepted
+  /// `already_written`). May clamp the write via `*allowed` (a short write,
+  /// then the returned Status decides success of the remainder).
+  virtual Status OnWrite(size_t already_written, size_t chunk,
+                         size_t* allowed) {
+    (void)already_written;
+    (void)chunk;
+    (void)allowed;
+    return Status::OK();
+  }
+
+  /// Called before fsync of the temp file.
+  virtual Status OnSync() { return Status::OK(); }
+
+  /// Called before the rename that publishes the file.
+  virtual Status OnRename() { return Status::OK(); }
+};
+
+/// \brief Installs (or, with nullptr, removes) the process-wide injector.
+/// Returns the previous one. FOR TESTS ONLY.
+WriteFaultInjector* SetWriteFaultInjectorForTesting(
+    WriteFaultInjector* injector);
+
+/// \brief Writes a file so that the final path only ever holds a complete,
+/// durable copy (see file comment). Typical use:
+///
+///   AtomicFileWriter writer(path);
+///   PATHEST_RETURN_NOT_OK(writer.Open());
+///   PATHEST_RETURN_NOT_OK(writer.Append(bytes.data(), bytes.size()));
+///   PATHEST_RETURN_NOT_OK(writer.Commit());
+///
+/// Destruction before Commit() abandons the write: the temp file is
+/// unlinked and the final path is untouched.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// \brief Creates the temp file. IOError if it cannot be created.
+  Status Open();
+
+  /// \brief Appends bytes to the temp file.
+  Status Append(const void* data, size_t n);
+  Status Append(std::string_view bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+
+  /// \brief Flushes, fsyncs, closes, renames into place, and fsyncs the
+  /// parent directory. After OK the file is durable at the final path; on
+  /// error the previous file (if any) is untouched and the temp is gone.
+  Status Commit();
+
+  /// \brief Unlinks the temp file without publishing. Idempotent.
+  void Abandon();
+
+  const std::string& path() const { return final_path_; }
+  const std::string& temp_path() const { return tmp_path_; }
+
+ private:
+  Status FailAndCleanup(std::string msg);
+
+  std::string final_path_;
+  std::string tmp_path_;
+  int fd_ = -1;
+  size_t written_ = 0;
+  bool committed_ = false;
+};
+
+/// \brief One-shot atomic write of `contents` to `path`.
+Status AtomicWriteFile(const std::string& path, std::string_view contents);
+
+/// \brief Slurps a whole file (binary mode) into `*out`. IOError on any
+/// failure; the existing content of `*out` is replaced only on success.
+Status ReadFileToString(const std::string& path, std::string* out);
+
+/// \brief Bounds-checked little-endian cursor over an in-memory buffer.
+///
+/// Every accessor fails with a typed IOError instead of reading past the
+/// end; the buffer must outlive the reader. The `what` strings name the
+/// field being read so corruption errors localize themselves ("section
+/// histogram: truncated reading bucket begins").
+class BoundedReader {
+ public:
+  BoundedReader(const void* data, size_t size)
+      : cur_(static_cast<const uint8_t*>(data)),
+        end_(static_cast<const uint8_t*>(data) + size) {}
+  explicit BoundedReader(std::string_view bytes)
+      : BoundedReader(bytes.data(), bytes.size()) {}
+
+  size_t remaining() const { return static_cast<size_t>(end_ - cur_); }
+  bool AtEnd() const { return cur_ == end_; }
+
+  Status ReadU32(uint32_t* out, const char* what);
+  Status ReadU64(uint64_t* out, const char* what);
+  /// Doubles travel as their IEEE-754 bit pattern in a little-endian u64:
+  /// bit-exact, no locale, no hexfloat parsing.
+  Status ReadDouble(double* out, const char* what);
+  Status ReadBytes(void* out, size_t n, const char* what);
+  /// u32 length prefix + raw bytes; length is validated against both
+  /// `max_len` and the remaining buffer BEFORE any allocation.
+  Status ReadLengthPrefixedString(std::string* out, size_t max_len,
+                                  const char* what);
+  Status Skip(size_t n, const char* what);
+
+  /// \brief Guards allocations sized from file data: fails unless
+  /// `count * elem_bytes` (overflow-checked) fits in the remaining bytes.
+  /// MUST be called before any reserve/resize driven by an untrusted count.
+  Status ValidateCount(uint64_t count, uint64_t elem_bytes,
+                       const char* what) const;
+
+ private:
+  const uint8_t* cur_;
+  const uint8_t* end_;
+};
+
+/// \brief Appends fixed-width little-endian fields to a byte buffer — the
+/// writer-side twin of BoundedReader.
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+void AppendDouble(std::string* out, double v);
+void AppendLengthPrefixedString(std::string* out, std::string_view s);
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_SAFE_IO_H_

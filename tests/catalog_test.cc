@@ -136,5 +136,72 @@ TEST_F(CatalogTest, SaveAllPersistsSerializableEntries) {
   std::filesystem::remove_all(dir);
 }
 
+TEST_F(CatalogTest, SaveAllBinaryLoadAllRoundTrip) {
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogEntryConfig config;
+  config.ordering = "sum-based";
+  config.num_buckets = 8;
+  ASSERT_TRUE(catalog.BuildEstimator("sum", config).ok());
+  config.ordering = "lex-card";
+  ASSERT_TRUE(catalog.BuildEstimator("lex", config).ok());
+
+  auto dir =
+      std::filesystem::temp_directory_path() / "pathest_catalog_bin_test";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(
+      catalog.SaveAll(dir.string(), nullptr, CatalogFormat::kBinary).ok());
+
+  StatisticsCatalog fresh = MakeCatalog();
+  CatalogLoadReport report;
+  ASSERT_TRUE(fresh.LoadAll(dir.string(), &report).ok());
+  EXPECT_TRUE(report.fully_healthy());
+  EXPECT_EQ(report.loaded, (std::vector<std::string>{"lex", "sum"}));
+  PathSpace space(graph_.num_labels(), 3);
+  for (const char* name : {"sum", "lex"}) {
+    auto original = catalog.GetEstimator(name);
+    auto reloaded = fresh.GetEstimator(name);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reloaded.ok());
+    space.ForEach([&](const LabelPath& p) {
+      EXPECT_EQ((*reloaded)->Estimate(p), (*original)->Estimate(p)) << name;
+    });
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CatalogTest, LoadAllQuarantinesForeignLabelDictionary) {
+  // An entry persisted against a DIFFERENT graph parses cleanly but would
+  // serve wrong estimates — LoadAll must quarantine it, not register it.
+  auto dir =
+      std::filesystem::temp_directory_path() / "pathest_catalog_foreign";
+  std::filesystem::create_directories(dir);
+  Graph foreign = testing_util::GraphWithCardinalities(
+      {{"x", 3}, {"y", 5}, {"z", 2}});
+  auto foreign_catalog = StatisticsCatalog::Analyze(foreign, 3);
+  ASSERT_TRUE(foreign_catalog.ok());
+  CatalogEntryConfig config;
+  config.ordering = "sum-based";
+  config.num_buckets = 4;
+  ASSERT_TRUE(foreign_catalog->BuildEstimator("foreign", config).ok());
+  ASSERT_TRUE(foreign_catalog->SaveAll(dir.string()).ok());
+
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogLoadReport report;
+  ASSERT_TRUE(catalog.LoadAll(dir.string(), &report).ok());
+  EXPECT_TRUE(report.loaded.empty());
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].status.message().find("label dictionary"),
+            std::string::npos);
+  EXPECT_EQ(catalog.EstimatorNames(), std::vector<std::string>{});
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(CatalogTest, LoadAllMissingDirIsNotFound) {
+  StatisticsCatalog catalog = MakeCatalog();
+  CatalogLoadReport report;
+  EXPECT_EQ(catalog.LoadAll("/nonexistent/catalog_dir", &report).code(),
+            StatusCode::kNotFound);
+}
+
 }  // namespace
 }  // namespace pathest

@@ -4,6 +4,8 @@
 #include <algorithm>
 #include <atomic>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -148,6 +150,49 @@ TEST(EvalContextTest, OversizedContextEvaluatesSmallerGraph) {
   auto reference = ComputeSelectivities(g, k);
   ASSERT_TRUE(reference.ok());
   EXPECT_EQ(map.values(), reference->values());
+}
+
+TEST(ThreadPoolTest, TaskExceptionRethrownFromParallelFor) {
+  // A throwing task must not terminate the process (worker-boundary
+  // catch); the first exception is rethrown from ParallelFor itself.
+  for (size_t num_threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(num_threads);
+    std::atomic<size_t> ran{0};
+    bool caught = false;
+    try {
+      pool.ParallelFor(64, [&](size_t i, size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        if (i == 7) throw std::runtime_error("task failed on index 7");
+      });
+    } catch (const std::runtime_error& e) {
+      caught = true;
+      EXPECT_STREQ(e.what(), "task failed on index 7");
+    }
+    EXPECT_TRUE(caught) << num_threads << " threads";
+    // The failure stops new indices; the pool never claims completeness.
+    EXPECT_LE(ran.load(), 64u);
+  }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAfterTaskException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(
+                   16, [](size_t, size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  // The next job runs clean: no sticky exception, every index exactly once.
+  std::vector<std::atomic<int>> hits(32);
+  pool.ParallelFor(hits.size(), [&](size_t i, size_t) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+  // And a second failing job still reports (first exception wins, others
+  // are swallowed at the worker boundary).
+  EXPECT_THROW(pool.ParallelFor(
+                   8, [](size_t, size_t) { throw std::string("not even an "
+                                                             "exception"); }),
+               std::string);
 }
 
 TEST(EvalContextTest, RootSubtreeWritesOnlyItsSlice) {

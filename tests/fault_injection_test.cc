@@ -1,0 +1,434 @@
+// The robustness proof of the binary catalog (core/serialize.h): take one
+// VALID catalog image and replay every corruption class against the loader
+// — truncation at every interesting byte, single-bit flips in every
+// region, forged count/length fields that survive the checksum walk, and
+// crashes at every stage of an atomic save. EVERY injected fault must
+// yield a typed Status (no crash, hang, OOM, or silently wrong estimator),
+// and a crashed save must leave the previous catalog byte-identical.
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog.h"
+#include "core/serialize.h"
+#include "ordering/factory.h"
+#include "path/selectivity.h"
+#include "test_util.h"
+#include "util/fault_injection.h"
+#include "util/safe_io.h"
+
+namespace pathest {
+namespace {
+
+using testing_util::SmallGraph;
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  FaultInjectionTest() : graph_(SmallGraph()) {
+    auto map = ComputeSelectivities(graph_, 3);
+    PATHEST_CHECK(map.ok(), "selectivities failed");
+    map_ = std::make_unique<SelectivityMap>(std::move(*map));
+    dir_ = std::filesystem::temp_directory_path() /
+           ("pathest_fault_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+
+  ~FaultInjectionTest() override { std::filesystem::remove_all(dir_); }
+
+  PathHistogram BuildEstimator(const std::string& method, size_t beta) {
+    auto ordering = MakeOrdering(method, graph_, 3);
+    PATHEST_CHECK(ordering.ok(), "ordering failed");
+    auto est = PathHistogram::Build(*map_, std::move(*ordering),
+                                    HistogramType::kVOptimal, beta);
+    PATHEST_CHECK(est.ok(), "estimator failed");
+    return std::move(*est);
+  }
+
+  // A valid binary image of a sum-based estimator (carries all 5 sections).
+  std::string ValidImage(const std::string& method = "sum-based") {
+    PathHistogram est = BuildEstimator(method, 6);
+    std::vector<uint64_t> cards;
+    for (LabelId l = 0; l < graph_.num_labels(); ++l) {
+      cards.push_back(graph_.LabelCardinality(l));
+    }
+    std::string bytes;
+    PATHEST_CHECK(
+        WritePathHistogramBinary(est, graph_.labels(), cards, &bytes).ok(),
+        "binary write failed");
+    return bytes;
+  }
+
+  // The fault contract: the loader must return a typed error — and, being
+  // in-memory parsing of a byte image, returning AT ALL rules out the
+  // crash/hang failure mode for that input.
+  void ExpectTypedFailure(const std::string& image, const std::string& what) {
+    auto loaded = ReadPathHistogramBinary(image);
+    ASSERT_FALSE(loaded.ok()) << what << ": corrupt image loaded cleanly";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError)
+        << what << ": " << loaded.status().ToString();
+    EXPECT_FALSE(loaded.status().message().empty()) << what;
+  }
+
+  Graph graph_;
+  std::unique_ptr<SelectivityMap> map_;
+  std::filesystem::path dir_;
+};
+
+TEST_F(FaultInjectionTest, ValidImageLoadsAndMatchesOriginal) {
+  // Sanity anchor for everything below: the uncorrupted image round-trips.
+  PathHistogram original = BuildEstimator("sum-based", 6);
+  const std::string image = ValidImage();
+  auto loaded = ReadPathHistogramBinary(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  PathSpace space(graph_.num_labels(), 3);
+  space.ForEach([&](const LabelPath& p) {
+    EXPECT_DOUBLE_EQ(loaded->estimator.Estimate(p), original.Estimate(p));
+  });
+}
+
+TEST_F(FaultInjectionTest, EveryTruncationPointFailsTyped) {
+  const std::string image = ValidImage();
+  const std::vector<size_t> points = TruncationPoints(image);
+  // The sweep must actually cover the header byte-by-byte and every
+  // section boundary: 33 header points + 5 sections.
+  ASSERT_GT(points.size(), 40u);
+  for (size_t cut : points) {
+    ExpectTypedFailure(image.substr(0, cut),
+                       "truncate to " + std::to_string(cut));
+  }
+  // And a coarse whole-file sweep (every 7th byte) for points the
+  // boundary enumeration might miss.
+  for (size_t cut = 0; cut < image.size(); cut += 7) {
+    ExpectTypedFailure(image.substr(0, cut),
+                       "truncate to " + std::to_string(cut));
+  }
+}
+
+TEST_F(FaultInjectionTest, SingleBitFlipInEverySectionFailsTyped) {
+  const std::string image = ValidImage();
+  auto sections = ParseBinarySectionTable(image);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->size(), 5u);  // sum-based carries all five
+  for (const BinarySectionInfo& s : *sections) {
+    // First, middle, and last byte of every payload, a couple of bits each.
+    for (size_t at : {s.offset, s.offset + s.length / 2,
+                      s.offset + s.length - 1}) {
+      for (int bit : {0, 7}) {
+        std::string corrupt = image;
+        ASSERT_TRUE(FlipBit(&corrupt, at, bit).ok());
+        ExpectTypedFailure(corrupt, std::string("flip in section ") +
+                                        binfmt::SectionName(s.id));
+      }
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, BitFlipsInHeaderAndTableFailTyped) {
+  const std::string image = ValidImage();
+  const size_t guarded =
+      binfmt::kHeaderBytes + 5 * binfmt::kSectionEntryBytes;
+  for (size_t at = 0; at < guarded; ++at) {
+    std::string corrupt = image;
+    ASSERT_TRUE(FlipBit(&corrupt, at, at % 8).ok());
+    ExpectTypedFailure(corrupt, "flip at header/table byte " +
+                                    std::to_string(at));
+  }
+}
+
+TEST_F(FaultInjectionTest, ForgedHugeBucketCountIsErrorNotOom) {
+  // The forged count is written THROUGH PatchSectionPayload, which
+  // refreshes the CRC — so the checksum walk passes and the count reaches
+  // the allocation-guarding validation (the exact path a flipped count
+  // plus a colliding CRC would take).
+  const std::string image = ValidImage();
+  for (uint64_t forged :
+       {uint64_t{1} << 60, uint64_t{0xFFFFFFFFFFFFFFFF},
+        uint64_t{1} << 32}) {
+    std::string corrupt = image;
+    std::string le;
+    AppendU64(&le, forged);
+    ASSERT_TRUE(PatchSectionPayload(&corrupt, binfmt::kSectionHistogram,
+                                    /*offset_in_payload=*/0, le)
+                    .ok());
+    auto loaded = ReadPathHistogramBinary(corrupt);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+    EXPECT_NE(loaded.status().message().find("implausible count"),
+              std::string::npos)
+        << loaded.status().ToString();
+  }
+}
+
+TEST_F(FaultInjectionTest, ForgedLabelCountAndLengthFailTyped) {
+  const std::string image = ValidImage();
+  {
+    // Label count forged huge (CRC refreshed).
+    std::string corrupt = image;
+    std::string le;
+    AppendU32(&le, 0xFFFFFFFFu);
+    ASSERT_TRUE(PatchSectionPayload(&corrupt, binfmt::kSectionLabels, 0, le)
+                    .ok());
+    ExpectTypedFailure(corrupt, "forged label count");
+  }
+  {
+    // First label's length prefix forged past the payload.
+    std::string corrupt = image;
+    std::string le;
+    AppendU32(&le, 0x7FFFFFFFu);
+    ASSERT_TRUE(PatchSectionPayload(&corrupt, binfmt::kSectionLabels, 4, le)
+                    .ok());
+    ExpectTypedFailure(corrupt, "forged label length");
+  }
+  {
+    // Cardinality count that disagrees with the label count.
+    std::string corrupt = image;
+    std::string le;
+    AppendU32(&le, 7);
+    ASSERT_TRUE(PatchSectionPayload(&corrupt, binfmt::kSectionCardinalities,
+                                    0, le)
+                    .ok());
+    ExpectTypedFailure(corrupt, "mismatched cardinality count");
+  }
+  {
+    // k forged to 0 and past kMaxPathLength in the ordering section; the
+    // field sits after the two length-prefixed strings.
+    auto find_k_offset = [&]() -> size_t {
+      BoundedReader r(image.data() + binfmt::kHeaderBytes +
+                          5 * binfmt::kSectionEntryBytes,
+                      image.size());
+      std::string skip;
+      size_t before = r.remaining();
+      PATHEST_CHECK(r.ReadLengthPrefixedString(&skip, 64, "t").ok(), "t");
+      PATHEST_CHECK(r.ReadLengthPrefixedString(&skip, 64, "t").ok(), "t");
+      return before - r.remaining();
+    };
+    for (uint32_t forged_k : {0u, 250u}) {
+      std::string corrupt = image;
+      std::string le;
+      AppendU32(&le, forged_k);
+      ASSERT_TRUE(PatchSectionPayload(&corrupt, binfmt::kSectionOrdering,
+                                      find_k_offset(), le)
+                      .ok());
+      ExpectTypedFailure(corrupt, "forged k=" + std::to_string(forged_k));
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, ForgedSectionExtentsFailTyped) {
+  const std::string image = ValidImage();
+  // Section count forged huge (header CRC will catch it) and, separately,
+  // a table entry pointing outside the file (table CRC intact via patch of
+  // the raw entry + recomputed CRCs is deliberately NOT done here — the
+  // crc-mismatch path is itself the assertion).
+  {
+    std::string corrupt = image;
+    corrupt[12] = '\x40';  // section count low byte -> 64+
+    ExpectTypedFailure(corrupt, "forged section count");
+  }
+  {
+    std::string corrupt = image;
+    // Offset field of the first table entry (header + 8) -> huge.
+    std::memset(corrupt.data() + binfmt::kHeaderBytes + 8, 0x7F, 8);
+    ExpectTypedFailure(corrupt, "forged section offset");
+  }
+}
+
+TEST_F(FaultInjectionTest, CompositionMismatchIsCaughtSemantically) {
+  // A wrong-but-well-formed composition value with a VALID CRC: only the
+  // semantic cross-check against the rebuilt table can see it.
+  const std::string image = ValidImage("sum-based");
+  std::string corrupt = image;
+  std::string le;
+  AppendU64(&le, 424242);
+  // Payload: u32 |L|, u32 k, u64 count, then values — patch value 0.
+  ASSERT_TRUE(PatchSectionPayload(&corrupt, binfmt::kSectionComposition, 16,
+                                  le)
+                  .ok());
+  auto loaded = ReadPathHistogramBinary(corrupt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("mismatch"), std::string::npos)
+      << loaded.status().ToString();
+}
+
+TEST_F(FaultInjectionTest, TextForgedCountsFailTyped) {
+  // The text reader's forged-count regression (the unbounded-reserve bug):
+  // a huge claimed count must be an IOError before any allocation.
+  PathHistogram est = BuildEstimator("num-card", 4);
+  std::vector<uint64_t> cards;
+  for (LabelId l = 0; l < graph_.num_labels(); ++l) {
+    cards.push_back(graph_.LabelCardinality(l));
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WritePathHistogram(est, graph_.labels(), cards, &out).ok());
+  const std::string text = out.str();
+
+  auto with_forged = [&](const std::string& key, const std::string& count) {
+    const size_t pos = text.find(key + " ");
+    PATHEST_CHECK(pos != std::string::npos, "key not found");
+    const size_t num_start = pos + key.size() + 1;
+    const size_t num_end = text.find_first_of(" \n", num_start);
+    std::string forged = text;
+    forged.replace(num_start, num_end - num_start, count);
+    return forged;
+  };
+  for (const char* count : {"123456789012", "18446744073709551615"}) {
+    for (const char* key : {"labels", "buckets"}) {
+      std::istringstream in(with_forged(key, count));
+      auto loaded = ReadPathHistogram(&in);
+      ASSERT_FALSE(loaded.ok()) << key << "=" << count;
+      EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, CrashedSaveLeavesPreviousCatalogIntact) {
+  // Establish a valid catalog file, then crash a re-save at every stage:
+  // short write at several offsets, failed fsync, failed rename. Each must
+  // return a Status, leave the published file byte-identical, and leave no
+  // temp debris that a reader could mistake for the catalog.
+  const std::string path = (dir_ / "crash.stats").string();
+  const std::string original_image = ValidImage("sum-based");
+  ASSERT_TRUE(AtomicWriteFile(path, original_image).ok());
+
+  const std::string replacement_image = ValidImage("num-card");
+  for (size_t fail_at : {size_t{0}, size_t{1}, size_t{17},
+                         replacement_image.size() / 2,
+                         replacement_image.size() - 1}) {
+    ScriptedWriteFaults faults;
+    faults.fail_write_at_byte = fail_at;
+    ScriptedWriteFaults::Install install(&faults);
+    Status st = AtomicWriteFile(path, replacement_image);
+    ASSERT_FALSE(st.ok()) << "fail_at=" << fail_at;
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+  }
+  {
+    ScriptedWriteFaults faults;
+    faults.fail_sync = true;
+    ScriptedWriteFaults::Install install(&faults);
+    EXPECT_FALSE(AtomicWriteFile(path, replacement_image).ok());
+  }
+  {
+    ScriptedWriteFaults faults;
+    faults.fail_rename = true;
+    ScriptedWriteFaults::Install install(&faults);
+    EXPECT_FALSE(AtomicWriteFile(path, replacement_image).ok());
+  }
+
+  // The previous catalog is byte-identical and still loads.
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, original_image);
+  EXPECT_TRUE(LoadPathHistogram(path).ok());
+  // No temp debris left behind.
+  size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  // And with no injector, the re-save goes through atomically.
+  ASSERT_TRUE(AtomicWriteFile(path, replacement_image).ok());
+  auto after = ReadFileBytes(path);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(*after, replacement_image);
+}
+
+TEST_F(FaultInjectionTest, CrashedSaveAllLeavesCatalogServingAndIntact) {
+  // The same guarantee one level up: StatisticsCatalog::SaveAll dying
+  // mid-flight must leave every previously saved entry loadable.
+  auto catalog = StatisticsCatalog::Analyze(graph_, 3);
+  ASSERT_TRUE(catalog.ok());
+  CatalogEntryConfig config;
+  config.ordering = "sum-based";
+  config.num_buckets = 8;
+  ASSERT_TRUE(catalog->BuildEstimator("a", config).ok());
+  config.ordering = "num-card";
+  ASSERT_TRUE(catalog->BuildEstimator("b", config).ok());
+  ASSERT_TRUE(
+      catalog->SaveAll(dir_.string(), nullptr, CatalogFormat::kBinary).ok());
+  auto before_a = ReadFileBytes((dir_ / "a.stats").string());
+  auto before_b = ReadFileBytes((dir_ / "b.stats").string());
+  ASSERT_TRUE(before_a.ok());
+  ASSERT_TRUE(before_b.ok());
+
+  {
+    ScriptedWriteFaults faults;
+    faults.fail_write_at_byte = 100;
+    ScriptedWriteFaults::Install install(&faults);
+    EXPECT_FALSE(
+        catalog->SaveAll(dir_.string(), nullptr, CatalogFormat::kBinary)
+            .ok());
+  }
+  auto after_a = ReadFileBytes((dir_ / "a.stats").string());
+  auto after_b = ReadFileBytes((dir_ / "b.stats").string());
+  ASSERT_TRUE(after_a.ok());
+  ASSERT_TRUE(after_b.ok());
+  EXPECT_EQ(*after_a, *before_a);
+  EXPECT_EQ(*after_b, *before_b);
+  CatalogLoadReport report;
+  ASSERT_TRUE(catalog->LoadAll(dir_.string(), &report).ok());
+  EXPECT_TRUE(report.fully_healthy());
+  EXPECT_EQ(report.loaded.size(), 2u);
+}
+
+TEST_F(FaultInjectionTest, DegradedCatalogServesHealthyEntries) {
+  // One corrupt entry must quarantine, not abort: the healthy entries keep
+  // loading and serving.
+  auto catalog = StatisticsCatalog::Analyze(graph_, 3);
+  ASSERT_TRUE(catalog.ok());
+  CatalogEntryConfig config;
+  config.ordering = "sum-based";
+  config.num_buckets = 8;
+  ASSERT_TRUE(catalog->BuildEstimator("good", config).ok());
+  config.ordering = "lex-card";
+  ASSERT_TRUE(catalog->BuildEstimator("bad", config).ok());
+  ASSERT_TRUE(
+      catalog->SaveAll(dir_.string(), nullptr, CatalogFormat::kBinary).ok());
+
+  // Corrupt "bad" with a bit flip inside its histogram section.
+  auto bytes = ReadFileBytes((dir_ / "bad.stats").string());
+  ASSERT_TRUE(bytes.ok());
+  auto sections = ParseBinarySectionTable(*bytes);
+  ASSERT_TRUE(sections.ok());
+  for (const BinarySectionInfo& s : *sections) {
+    if (s.id == binfmt::kSectionHistogram) {
+      ASSERT_TRUE(FlipBit(&*bytes, s.offset + 11, 3).ok());
+    }
+  }
+  ASSERT_TRUE(WriteFileBytes((dir_ / "bad.stats").string(), *bytes).ok());
+
+  auto fresh = StatisticsCatalog::Analyze(graph_, 3);
+  ASSERT_TRUE(fresh.ok());
+  CatalogLoadReport report;
+  ASSERT_TRUE(fresh->LoadAll(dir_.string(), &report).ok());
+  EXPECT_EQ(report.loaded, std::vector<std::string>{"good"});
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NE(report.failures[0].path.find("bad.stats"), std::string::npos);
+  EXPECT_EQ(report.failures[0].section, "histogram");
+  EXPECT_EQ(report.failures[0].status.code(), StatusCode::kIOError);
+
+  // The healthy entry answers.
+  LabelId a = *graph_.labels().Find("a");
+  EXPECT_TRUE(fresh->Estimate("good", LabelPath{a}).ok());
+  EXPECT_EQ(fresh->Estimate("bad", LabelPath{a}).status().code(),
+            StatusCode::kNotFound);
+
+  // And VerifyCatalogDir sees exactly the same picture graph-free.
+  auto verify = VerifyCatalogDir(dir_.string());
+  ASSERT_TRUE(verify.ok());
+  EXPECT_EQ(verify->loaded, std::vector<std::string>{"good"});
+  ASSERT_EQ(verify->failures.size(), 1u);
+  EXPECT_EQ(verify->failures[0].section, "histogram");
+}
+
+}  // namespace
+}  // namespace pathest
