@@ -11,7 +11,9 @@
 //   pathest_cli analyze <graph-file> <k> <ordering> <beta> <out.stats>
 //   pathest_cli estimate <stats-file> [<path> ...]
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
-//   pathest_cli catalog verify <dir>
+//   pathest_cli catalog verify [--json] <dir>
+//   pathest_cli serve <socket> <catalog-dir> [key=value ...]
+//   pathest_cli call <socket> <request words ...>
 //   pathest_cli orderings
 //
 // The graph source of stats/analyze/accuracy is the <graph-file>
@@ -44,6 +46,18 @@
 // `catalog verify <dir>` checksum-walks every *.stats entry and exits
 // nonzero if ANY entry fails, printing one line per entry; it is the
 // operational integrity probe for a directory of persisted statistics.
+// With --json it prints one machine-readable JSON object instead (same
+// exit-code contract), for monitoring that should not scrape text.
+//
+// `serve <socket> <catalog-dir>` runs the concurrent estimation daemon
+// (serve/server.h): catalog entries served as immutable snapshots with
+// atomic hot-swap on `reload`, bounded-queue load shedding, per-request
+// deadlines, and degraded-mode serving of a partially corrupt catalog.
+// Optional key=value args: workers=N queue=N deadline_ms=N idle_ms=N.
+// SIGTERM/SIGINT begin a graceful drain (in-flight requests answered)
+// and the daemon exits 0. `call <socket> <words...>` sends one request
+// line to a running daemon, prints the response line, and exits 0 iff
+// the response is "ok ..." — the scripting/smoke-test client.
 //
 // Exit codes are uniform across subcommands: 0 = success, 1 = runtime
 // failure (including any failed estimate query or corrupt catalog entry,
@@ -53,10 +67,13 @@
 // graph, analyzes it, estimates a few queries) so that it is exercised by
 // simply running the binary.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <chrono>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/catalog.h"
@@ -69,6 +86,10 @@
 #include "graph/graph_stats.h"
 #include "ordering/factory.h"
 #include "path/selectivity.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "util/safe_io.h"
 
 using namespace pathest;  // NOLINT — example code favors brevity
 
@@ -152,9 +173,19 @@ int Usage() {
       "  pathest_cli estimate <stats-file> [<path> ...]\n"
       "      (no paths: read one label path per stdin line)\n"
       "  pathest_cli accuracy <graph-file> <k> <ordering> <beta>\n"
-      "  pathest_cli catalog verify <dir>\n"
+      "  pathest_cli catalog verify [--json] <dir>\n"
       "      (checksum-walk every *.stats entry; nonzero exit on any "
-      "failure)\n"
+      "failure;\n"
+      "       --json prints one machine-readable report object)\n"
+      "  pathest_cli serve <socket> <catalog-dir> [workers=N queue=N "
+      "deadline_ms=N idle_ms=N]\n"
+      "      (estimation daemon: atomic snapshot hot-swap on reload, "
+      "load shedding,\n"
+      "       per-request deadlines, degraded-mode serving; SIGTERM "
+      "drains gracefully)\n"
+      "  pathest_cli call <socket> <request words ...>\n"
+      "      (one-shot client; prints the response line, exit 0 iff "
+      "'ok ...')\n"
       "  pathest_cli orderings\n"
       "datasets: moreno dbpedia snap-er snap-ff\n"
       "<graph-file> (or the global --graph flag standing in for it) may "
@@ -277,9 +308,25 @@ int CmdEstimate(const std::vector<std::string>& args) {
 }
 
 int CmdCatalog(const std::vector<std::string>& args) {
-  if (args.size() != 2 || args[0] != "verify") return Usage();
-  auto report = VerifyCatalogDir(args[1]);
+  // `catalog verify [--json] <dir>`: --json may come before or after the
+  // directory; the exit-code contract (nonzero iff any entry is corrupt or
+  // the walk fails) is identical in both output modes.
+  std::vector<std::string> rest;
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else {
+      rest.push_back(arg);
+    }
+  }
+  if (rest.size() != 2 || rest[0] != "verify") return Usage();
+  auto report = VerifyCatalogDir(rest[1]);
   if (!report.ok()) return Fail(report.status());
+  if (json) {
+    std::printf("%s\n", CatalogLoadReportToJson(*report, rest[1]).c_str());
+    return report->failures.empty() ? 0 : 1;
+  }
   for (const std::string& name : report->loaded) {
     std::printf("ok        %s\n", name.c_str());
   }
@@ -289,9 +336,101 @@ int CmdCatalog(const std::vector<std::string>& args) {
     std::fprintf(stderr, "CORRUPT   %s: %s\n", where.c_str(),
                  f.status.ToString().c_str());
   }
-  std::printf("verified %s: %zu ok, %zu corrupt\n", args[1].c_str(),
+  std::printf("verified %s: %zu ok, %zu corrupt\n", rest[1].c_str(),
               report->loaded.size(), report->failures.size());
   return report->failures.empty() ? 0 : 1;
+}
+
+// SIGTERM/SIGINT raise this flag; the serve main loop polls it and turns
+// it into a graceful drain. A flag (not direct RequestStop from the
+// handler) keeps the handler async-signal-safe.
+volatile std::sig_atomic_t g_serve_signal = 0;
+
+void ServeSignalHandler(int) { g_serve_signal = 1; }
+
+int CmdServe(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  serve::ServeOptions options;
+  options.socket_path = args[0];
+  options.catalog_dir = args[1];
+  for (size_t i = 2; i < args.size(); ++i) {
+    const size_t eq = args[i].find('=');
+    if (eq == std::string::npos) {
+      return Fail(Status::InvalidArgument(
+          "serve options are key=value pairs, got '" + args[i] + "'"));
+    }
+    const std::string key = args[i].substr(0, eq);
+    auto value = serve::ParseU64Option(key, args[i].substr(eq + 1));
+    if (!value.ok()) return Fail(value.status());
+    if (key == "workers") {
+      if (*value == 0) {
+        return Fail(Status::InvalidArgument("workers must be >= 1"));
+      }
+      options.num_workers = *value;
+    } else if (key == "queue") {
+      options.queue_capacity = *value;
+    } else if (key == "deadline_ms") {
+      options.default_deadline_ms = *value;
+    } else if (key == "idle_ms") {
+      options.idle_timeout_ms = *value;
+    } else {
+      return Fail(Status::InvalidArgument(
+          "unknown serve option '" + key +
+          "' (workers, queue, deadline_ms, idle_ms)"));
+    }
+  }
+
+  // Handlers go in BEFORE Start(): the socket becomes connectable inside
+  // Start, and a supervisor may signal the moment it appears.
+  std::signal(SIGTERM, ServeSignalHandler);
+  std::signal(SIGINT, ServeSignalHandler);
+
+  serve::ServeServer server(options);
+  Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  const auto state = server.registry_state();
+  std::printf("serving %zu catalog entr%s from %s on %s "
+              "(workers=%zu queue=%zu deadline_ms=%llu)%s\n",
+              state->entries.size(), state->entries.size() == 1 ? "y" : "ies",
+              options.catalog_dir.c_str(), options.socket_path.c_str(),
+              options.num_workers, options.queue_capacity,
+              static_cast<unsigned long long>(options.default_deadline_ms),
+              state->degraded ? " [DEGRADED: some entries quarantined]" : "");
+  for (const CatalogLoadFailure& f : server.initial_report().failures) {
+    std::fprintf(stderr, "quarantined %s: %s\n", f.path.c_str(),
+                 f.status.ToString().c_str());
+  }
+  std::fflush(stdout);
+
+  // Park until a signal or a `shutdown` request begins the drain.
+  while (g_serve_signal == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("draining (%s)...\n",
+              g_serve_signal != 0 ? "signal" : "shutdown request");
+  std::fflush(stdout);
+  server.RequestStop();
+  server.Wait();
+  std::printf("drained; served %llu requests, shed %llu connections\n",
+              static_cast<unsigned long long>(
+                  server.counters().requests.load()),
+              static_cast<unsigned long long>(
+                  server.counters().connections_shed.load()));
+  return 0;
+}
+
+int CmdCall(const std::vector<std::string>& args) {
+  if (args.size() < 2) return Usage();
+  auto client = serve::ServeClient::Connect(args[0]);
+  if (!client.ok()) return Fail(client.status());
+  std::string request = args[1];
+  for (size_t i = 2; i < args.size(); ++i) request += " " + args[i];
+  auto response = client->Call(request);
+  if (!response.ok()) return Fail(response.status());
+  std::printf("%s\n", response->c_str());
+  // "ok ..." is success; "err ..." (typed protocol error) exits 1 so smoke
+  // tests can assert on the exit code alone.
+  return response->rfind("ok", 0) == 0 ? 0 : 1;
 }
 
 int CmdAccuracy(const std::vector<std::string>& args) {
@@ -355,6 +494,9 @@ int SelfDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A broken pipe (e.g. `pathest_cli ... | head`, or a serve client dying
+  // mid-response) must be an error return, never a process-killing signal.
+  IgnoreSigpipeForProcess();
   std::vector<std::string> all(argv + 1, argv + argc);
   // Strip the global flags ("--flag value" or "--flag=value") wherever they
   // appear. Every value is validated HERE, before any command runs: a
@@ -476,6 +618,8 @@ int main(int argc, char** argv) {
   if (cmd == "estimate") return CmdEstimate(args);
   if (cmd == "accuracy") return CmdAccuracy(args);
   if (cmd == "catalog") return CmdCatalog(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "call") return CmdCall(args);
   if (cmd == "orderings") return CmdOrderings();
   return Usage();
 }

@@ -1,6 +1,7 @@
 #include "core/catalog.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <system_error>
 
@@ -23,10 +24,22 @@ std::string ExtractSectionFromError(const std::string& message) {
   return message.substr(start, colon - start);
 }
 
-// Sorted `*.stats` paths under `dir`; NotFound/IOError when the directory
-// itself cannot be walked.
-Status ListCatalogEntries(const std::string& dir,
-                          std::vector<std::filesystem::path>* out) {
+void RecordFailure(CatalogLoadReport* report, const std::string& path,
+                   Status status) {
+  if (report == nullptr) return;
+  report->failures.push_back(MakeCatalogLoadFailure(path, std::move(status)));
+}
+
+}  // namespace
+
+CatalogLoadFailure MakeCatalogLoadFailure(std::string path, Status status) {
+  std::string section = ExtractSectionFromError(status.message());
+  return CatalogLoadFailure{std::move(path), std::move(section),
+                            std::move(status)};
+}
+
+Result<std::vector<std::string>> ListCatalogEntryPaths(
+    const std::string& dir) {
   std::error_code ec;
   if (!std::filesystem::is_directory(dir, ec)) {
     return Status::NotFound("catalog directory not found: " + dir);
@@ -36,38 +49,88 @@ Status ListCatalogEntries(const std::string& dir,
     return Status::IOError("cannot read catalog directory '" + dir +
                            "': " + ec.message());
   }
+  std::vector<std::string> out;
   for (const auto& entry : it) {
     if (entry.is_regular_file(ec) && entry.path().extension() == ".stats") {
-      out->push_back(entry.path());
+      out.push_back(entry.path().string());
     }
   }
-  std::sort(out->begin(), out->end());
-  return Status::OK();
+  std::sort(out.begin(), out.end());
+  return out;
 }
-
-void RecordFailure(CatalogLoadReport* report, const std::string& path,
-                   Status status) {
-  if (report == nullptr) return;
-  std::string section = ExtractSectionFromError(status.message());
-  report->failures.push_back(
-      CatalogLoadFailure{path, std::move(section), std::move(status)});
-}
-
-}  // namespace
 
 Result<CatalogLoadReport> VerifyCatalogDir(const std::string& dir) {
-  std::vector<std::filesystem::path> entries;
-  PATHEST_RETURN_NOT_OK(ListCatalogEntries(dir, &entries));
+  auto entries = ListCatalogEntryPaths(dir);
+  if (!entries.ok()) return entries.status();
   CatalogLoadReport report;
-  for (const auto& path : entries) {
-    auto loaded = LoadPathHistogram(path.string());
+  for (const std::string& path : *entries) {
+    auto loaded = LoadPathHistogram(path);
     if (loaded.ok()) {
-      report.loaded.push_back(path.stem().string());
+      report.loaded.push_back(std::filesystem::path(path).stem().string());
     } else {
-      RecordFailure(&report, path.string(), loaded.status());
+      RecordFailure(&report, path, loaded.status());
     }
   }
   return report;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CatalogLoadReportToJson(const CatalogLoadReport& report,
+                                    const std::string& dir) {
+  std::string out = "{\"dir\":\"" + JsonEscape(dir) + "\"";
+  out += ",\"ok\":" + std::to_string(report.loaded.size());
+  out += ",\"corrupt\":" + std::to_string(report.failures.size());
+  out += ",\"fully_healthy\":";
+  out += report.fully_healthy() ? "true" : "false";
+  out += ",\"loaded\":[";
+  for (size_t i = 0; i < report.loaded.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"' + JsonEscape(report.loaded[i]) + '"';
+  }
+  out += "],\"failures\":[";
+  for (size_t i = 0; i < report.failures.size(); ++i) {
+    const CatalogLoadFailure& f = report.failures[i];
+    if (i > 0) out += ',';
+    out += "{\"path\":\"" + JsonEscape(f.path) + "\"";
+    out += ",\"section\":\"" + JsonEscape(f.section) + "\"";
+    out += ",\"code\":\"";
+    out += StatusCodeToString(f.status.code());
+    out += "\",\"error\":\"" + JsonEscape(f.status.message()) + "\"}";
+  }
+  out += "]}";
+  return out;
 }
 
 StatisticsCatalog::StatisticsCatalog(
@@ -157,12 +220,12 @@ Status StatisticsCatalog::SaveAll(const std::string& dir,
 
 Status StatisticsCatalog::LoadAll(const std::string& dir,
                                   CatalogLoadReport* report) {
-  std::vector<std::filesystem::path> entries;
-  PATHEST_RETURN_NOT_OK(ListCatalogEntries(dir, &entries));
-  for (const auto& path : entries) {
-    auto loaded = LoadPathHistogram(path.string());
+  auto entries = ListCatalogEntryPaths(dir);
+  if (!entries.ok()) return entries.status();
+  for (const std::string& path : *entries) {
+    auto loaded = LoadPathHistogram(path);
     if (!loaded.ok()) {
-      RecordFailure(report, path.string(), loaded.status());
+      RecordFailure(report, path, loaded.status());
       continue;
     }
     // A well-formed entry persisted against a DIFFERENT label dictionary
@@ -170,12 +233,12 @@ Status StatisticsCatalog::LoadAll(const std::string& dir,
     // other corruption instead of registering it.
     if (loaded->labels.names() != graph_->labels().names()) {
       RecordFailure(
-          report, path.string(),
+          report, path,
           Status::IOError("label dictionary does not match the catalog's "
                           "graph (foreign or stale entry)"));
       continue;
     }
-    const std::string name = path.stem().string();
+    const std::string name = std::filesystem::path(path).stem().string();
     estimators_[name] =
         std::make_unique<PathHistogram>(std::move(loaded->estimator));
     if (report != nullptr) report->loaded.push_back(name);

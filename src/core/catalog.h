@@ -32,6 +32,11 @@ struct CatalogLoadFailure {
   Status status;
 };
 
+/// \brief Builds a CatalogLoadFailure from a loader error, pulling the
+/// implicated binary section out of the error message ("section <name>:
+/// ..." — the binary loader's self-localizing prefix) when present.
+CatalogLoadFailure MakeCatalogLoadFailure(std::string path, Status status);
+
 /// \brief Outcome of a degraded-mode catalog load: which entries serve and
 /// which were quarantined (and why). A catalog with failures still serves
 /// every healthy entry — one corrupt file must not take down the rest.
@@ -47,6 +52,26 @@ struct CatalogLoadReport {
 /// without needing a graph or an analyzed catalog — the integrity audit
 /// behind `pathest_cli catalog verify`. NotFound if `dir` does not exist.
 Result<CatalogLoadReport> VerifyCatalogDir(const std::string& dir);
+
+/// \brief Sorted `<dir>/*.stats` paths — the one definition of "what is a
+/// catalog entry" shared by VerifyCatalogDir, StatisticsCatalog::LoadAll,
+/// and the serving reload path (serve/snapshot_registry.h). NotFound when
+/// `dir` is not a directory; IOError when it cannot be walked.
+Result<std::vector<std::string>> ListCatalogEntryPaths(const std::string& dir);
+
+/// \brief Renders a CatalogLoadReport as one line of JSON — the single
+/// machine-readable integrity report consumed by `pathest_cli catalog
+/// verify --json`, the serve daemon's `stats` response, and external
+/// tooling. Shape:
+///   {"dir":..., "ok":N, "corrupt":M, "fully_healthy":bool,
+///    "loaded":[name...],
+///    "failures":[{"path":...,"section":...,"code":...,"error":...}...]}
+std::string CatalogLoadReportToJson(const CatalogLoadReport& report,
+                                    const std::string& dir);
+
+/// \brief Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(const std::string& s);
 
 /// \brief Configuration of one catalog entry.
 struct CatalogEntryConfig {

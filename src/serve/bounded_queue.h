@@ -1,0 +1,90 @@
+// pathest: a small bounded MPMC queue — the load-shedding admission queue
+// of the estimation service.
+//
+// The shape the server needs, and nothing more:
+//   * TryPush never blocks: a full queue returns false, and the caller
+//     (the accept loop) sheds the connection with a typed retriable error
+//     instead of queueing unboundedly — backpressure is explicit.
+//   * Pop blocks until an item, Stop(), or the caller's deadline slice —
+//     workers wake promptly on shutdown.
+//   * Stop() wakes every waiter; subsequent Pops drain what remains and
+//     then report stopped, so shutdown can flush the queue gracefully.
+
+#ifndef PATHEST_SERVE_BOUNDED_QUEUE_H_
+#define PATHEST_SERVE_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace pathest {
+namespace serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// \brief Enqueues unless full or stopped; never blocks. Takes an
+  /// rvalue reference and moves ONLY on success — a shed caller still
+  /// owns the item (e.g. the connection to answer with the shed error).
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// \brief Dequeues, waiting until an item arrives or Stop() is called.
+  /// Returns nullopt only when stopped AND empty (a stopped queue still
+  /// drains its remaining items).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return stopped_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// \brief Non-blocking dequeue (shutdown drain).
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// \brief Rejects future pushes and wakes every Pop waiter.
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopped_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace pathest
+
+#endif  // PATHEST_SERVE_BOUNDED_QUEUE_H_

@@ -1,0 +1,44 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace pathest {
+namespace serve {
+
+Result<ServeClient> ServeClient::Connect(const std::string& socket_path,
+                                         uint64_t response_timeout_ms) {
+  auto fd = ConnectUnixSocket(socket_path);
+  if (!fd.ok()) return fd.status();
+  return ServeClient(std::move(*fd), response_timeout_ms);
+}
+
+Result<std::string> ServeClient::Call(const std::string& request) {
+  // A failed send does not short-circuit the read: a server that already
+  // answered-and-closed (load shed, oversized line) leaves its error line
+  // in the socket, and surfacing THAT beats a bare transport error.
+  const bool sent = SendAll(fd_.get(), request + "\n");
+  std::string line;
+  if (!sent && reader_.ReadLine(&line) == ReadLineResult::kLine) {
+    return line;
+  }
+  if (!sent) {
+    return Status::IOError("send failed: server connection lost");
+  }
+  switch (reader_.ReadLine(&line)) {
+    case ReadLineResult::kLine:
+      return line;
+    case ReadLineResult::kEof:
+      return Status::IOError("server closed the connection before replying");
+    case ReadLineResult::kTimeout:
+      return Status::DeadlineExceeded("timed out waiting for a response");
+    case ReadLineResult::kOversized:
+      return Status::IOError("response line exceeded the client's limit");
+    case ReadLineResult::kStopped:
+    case ReadLineResult::kError:
+      break;
+  }
+  return Status::IOError("socket error while reading the response");
+}
+
+}  // namespace serve
+}  // namespace pathest

@@ -1,0 +1,54 @@
+// pathest: minimal client for the serve daemon's newline protocol
+// (serve/protocol.h). One request line out, one response line back; used
+// by `pathest_cli call`, the serve tests' oracle comparisons, and
+// bench_serve_latency. Deliberately not a connection pool — callers that
+// want concurrency open one ServeClient per thread.
+
+#ifndef PATHEST_SERVE_CLIENT_H_
+#define PATHEST_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/socket_io.h"
+#include "util/status.h"
+
+namespace pathest {
+namespace serve {
+
+class ServeClient {
+ public:
+  /// \brief Connects to the daemon at `socket_path`. `response_timeout_ms`
+  /// bounds every later Call's wait for a response line (0 = wait forever).
+  static Result<ServeClient> Connect(const std::string& socket_path,
+                                     uint64_t response_timeout_ms = 30000);
+
+  ServeClient(ServeClient&&) = default;
+  ServeClient& operator=(ServeClient&&) = default;
+
+  /// \brief Sends `request` (newline appended) and returns the one-line
+  /// response verbatim — including protocol-level "err ..." lines, which
+  /// are RESPONSES, not Call failures. Call fails only on transport
+  /// problems: server gone (IOError) or response timeout
+  /// (DeadlineExceeded, retriable on a fresh connection).
+  Result<std::string> Call(const std::string& request);
+
+  int fd() const { return fd_.get(); }
+
+ private:
+  ServeClient(UniqueFd fd, uint64_t response_timeout_ms)
+      : fd_(std::move(fd)),
+        reader_(fd_.get(), response_timeout_ms, kMaxResponseBytes) {}
+
+  // Responses carry one value per requested path; 16 MiB bounds even
+  // absurdly large batches.
+  static constexpr size_t kMaxResponseBytes = 16u << 20;
+
+  UniqueFd fd_;
+  LineReader reader_;
+};
+
+}  // namespace serve
+}  // namespace pathest
+
+#endif  // PATHEST_SERVE_CLIENT_H_

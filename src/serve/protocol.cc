@@ -1,0 +1,88 @@
+#include "serve/protocol.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace pathest {
+namespace serve {
+
+Result<Request> ParseRequest(std::string_view line) {
+  Request request;
+  size_t pos = 0;
+  bool in_args = false;
+  while (pos < line.size()) {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+    if (pos >= line.size()) break;
+    size_t end = line.find(' ', pos);
+    if (end == std::string_view::npos) end = line.size();
+    std::string_view token = line.substr(pos, end - pos);
+    pos = end;
+    if (request.command.empty()) {
+      request.command.assign(token);
+      continue;
+    }
+    // Options are only recognized between the command and the first
+    // positional argument, so a path named "x=y" can still be passed once
+    // a real positional precedes it.
+    const size_t eq = token.find('=');
+    if (!in_args && eq == 0) {
+      return Status::InvalidArgument("malformed option '" +
+                                     std::string(token) + "' (empty key)");
+    }
+    if (!in_args && eq != std::string_view::npos) {
+      request.options.emplace_back(std::string(token.substr(0, eq)),
+                                   std::string(token.substr(eq + 1)));
+      continue;
+    }
+    in_args = true;
+    request.args.emplace_back(token);
+  }
+  if (request.command.empty()) {
+    return Status::InvalidArgument("empty request line");
+  }
+  return request;
+}
+
+bool IsRetriableCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string FormatErrorResponse(const Status& status) {
+  std::string out = "err ";
+  out += StatusCodeToString(status.code());
+  out += IsRetriableCode(status.code()) ? " retriable " : " fatal ";
+  for (const char c : status.message()) {
+    out += (c == '\n' || c == '\r') ? ' ' : c;
+  }
+  return out;
+}
+
+void AppendEstimateValue(std::string* out, double value) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out->append(buf, static_cast<size_t>(n));
+}
+
+Result<uint64_t> ParseU64Option(std::string_view key,
+                                std::string_view value) {
+  uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), parsed);
+  if (ec != std::errc{} || ptr != value.data() + value.size() ||
+      value.empty()) {
+    return Status::InvalidArgument("invalid " + std::string(key) + "='" +
+                                   std::string(value) +
+                                   "' (expected a non-negative integer)");
+  }
+  return parsed;
+}
+
+}  // namespace serve
+}  // namespace pathest

@@ -1,0 +1,33 @@
+#include "serve/snapshot_registry.h"
+
+#include <filesystem>
+#include <utility>
+
+namespace pathest {
+namespace serve {
+
+Result<SnapshotLoadResult> LoadCatalogSnapshots(const std::string& dir,
+                                                uint64_t version) {
+  auto entries = ListCatalogEntryPaths(dir);
+  if (!entries.ok()) return entries.status();
+  SnapshotLoadResult result;
+  for (const std::string& path : *entries) {
+    auto loaded = LoadPathHistogram(path);
+    const std::string name = std::filesystem::path(path).stem().string();
+    if (!loaded.ok()) {
+      // Same quarantine shape as StatisticsCatalog::LoadAll: the failure
+      // is recorded (path + implicated section + typed error) and the
+      // remaining entries still become snapshots.
+      result.report.failures.push_back(
+          MakeCatalogLoadFailure(path, loaded.status()));
+      continue;
+    }
+    result.snapshots[name] = std::make_shared<const ServingSnapshot>(
+        name, std::move(*loaded), version);
+    result.report.loaded.push_back(name);
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace pathest

@@ -1,0 +1,170 @@
+#include "serve/socket_io.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace pathest {
+namespace serve {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+// Fills sockaddr_un; InvalidArgument when the path does not fit sun_path
+// (a 108-byte kernel limit the caller cannot see otherwise).
+Status FillAddress(const std::string& path, sockaddr_un* addr) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr->sun_path)) {
+    return Status::InvalidArgument(
+        "socket path too long (" + std::to_string(path.size()) +
+        " bytes; the kernel limit is " +
+        std::to_string(sizeof(addr->sun_path) - 1) + "): " + path);
+  }
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return Status::OK();
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Result<UniqueFd> ConnectUnixSocket(const std::string& path) {
+  sockaddr_un addr;
+  PATHEST_RETURN_NOT_OK(FillAddress(path, &addr));
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IOError(ErrnoMessage("socket() failed"));
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno != EINTR) {
+      return Status::IOError(ErrnoMessage("cannot connect to '" + path + "'"));
+    }
+  }
+}
+
+Result<UniqueFd> ListenUnixSocket(const std::string& path, int backlog) {
+  sockaddr_un addr;
+  PATHEST_RETURN_NOT_OK(FillAddress(path, &addr));
+  struct stat st;
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return Status::InvalidArgument(
+          "socket path exists and is not a socket: " + path);
+    }
+    // A leftover socket from a crashed daemon; a LIVE daemon would still
+    // hold the bind, which the bind() below reports as EADDRINUSE only on
+    // an abstract address — for filesystem sockets the unlink wins, so
+    // deployments must not point two daemons at one path.
+    ::unlink(path.c_str());
+  }
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return Status::IOError(ErrnoMessage("socket() failed"));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(ErrnoMessage("cannot bind '" + path + "'"));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    return Status::IOError(ErrnoMessage("cannot listen on '" + path + "'"));
+  }
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  while (n > 0) {
+    const ssize_t sent = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;  // EPIPE and friends: the peer is gone
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+ReadLineResult LineReader::ReadLine(std::string* out) {
+  uint64_t idle_ms = 0;
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      out->assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      // Tolerate CRLF clients.
+      if (!out->empty() && out->back() == '\r') out->pop_back();
+      return ReadLineResult::kLine;
+    }
+    if (buffer_.size() > max_line_bytes_) return ReadLineResult::kOversized;
+    if (peer_closed_) return ReadLineResult::kEof;
+    if (stop_ != nullptr && stop_->load(std::memory_order_acquire)) {
+      // One zero-timeout drain of bytes the kernel already delivered, so a
+      // request that fully arrived before the stop is still served rather
+      // than answered with the drain error.
+      pollfd drain{fd_, POLLIN, 0};
+      if (::poll(&drain, 1, 0) > 0) {
+        char buf[4096];
+        const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+        if (n > 0) {
+          buffer_.append(buf, static_cast<size_t>(n));
+          continue;
+        }
+        if (n == 0) {
+          peer_closed_ = true;
+          continue;
+        }
+      }
+      return ReadLineResult::kStopped;
+    }
+    // Wait in short slices so a raised stop flag interrupts the wait
+    // within one slice, independent of the (much longer) idle timeout.
+    constexpr uint64_t kSliceMs = 50;
+    pollfd pfd{fd_, POLLIN, 0};
+    const uint64_t slice =
+        idle_timeout_ms_ > 0
+            ? std::min<uint64_t>(kSliceMs, idle_timeout_ms_ - idle_ms)
+            : kSliceMs;
+    const int rc = ::poll(&pfd, 1, static_cast<int>(slice));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ReadLineResult::kError;
+    }
+    if (rc == 0) {
+      idle_ms += slice;
+      if (idle_timeout_ms_ > 0 && idle_ms >= idle_timeout_ms_) {
+        return ReadLineResult::kTimeout;
+      }
+      continue;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return ReadLineResult::kError;
+    }
+    if (n == 0) {
+      peer_closed_ = true;  // deliver any final unterminated data as EOF
+      continue;
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+    idle_ms = 0;
+  }
+}
+
+}  // namespace serve
+}  // namespace pathest

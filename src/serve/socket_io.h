@@ -1,0 +1,104 @@
+// pathest: low-level Unix-domain socket plumbing shared by the serve
+// daemon (serve/server.h) and its client (serve/client.h).
+//
+// Everything here is EINTR-safe, and every send uses MSG_NOSIGNAL so a
+// peer that died mid-response yields EPIPE (an error return) instead of a
+// process-killing SIGPIPE — together with util/safe_io.h's
+// IgnoreSigpipeForProcess, a dying client can never take the daemon down.
+
+#ifndef PATHEST_SERVE_SOCKET_IO_H_
+#define PATHEST_SERVE_SOCKET_IO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pathest {
+namespace serve {
+
+/// \brief RAII file descriptor (close on destruction, move-only).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      reset(other.release());
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// \brief Connects to the Unix-domain stream socket at `path`.
+/// InvalidArgument when the path exceeds sun_path; IOError on failure.
+Result<UniqueFd> ConnectUnixSocket(const std::string& path);
+
+/// \brief Binds and listens on `path`. A stale socket file (from a
+/// crashed daemon) is replaced; a non-socket file at `path` is an error.
+Result<UniqueFd> ListenUnixSocket(const std::string& path, int backlog);
+
+/// \brief Writes all of `bytes` (EINTR-safe, MSG_NOSIGNAL). False on any
+/// unrecoverable error — the caller treats the connection as gone.
+bool SendAll(int fd, std::string_view bytes);
+
+/// \brief Outcome of LineReader::ReadLine.
+enum class ReadLineResult {
+  kLine,       // *out holds one line (terminator stripped)
+  kEof,        // peer closed cleanly with no pending line
+  kTimeout,    // idle longer than the reader's timeout
+  kStopped,    // the stop flag was raised while waiting for data
+  kOversized,  // line exceeded max_line_bytes (protocol violation)
+  kError,      // socket error
+};
+
+/// \brief Buffered newline-delimited reader over a socket.
+///
+/// Waits in short poll slices so it can notice `stop` (a server draining)
+/// within ~50 ms even under a long idle timeout. A stop only interrupts
+/// WAITING — a complete line that already arrived is still returned, which
+/// is what lets a draining server answer every request it has already
+/// received.
+class LineReader {
+ public:
+  /// \param stop optional drain flag; nullptr means never stopped.
+  LineReader(int fd, uint64_t idle_timeout_ms, size_t max_line_bytes,
+             const std::atomic<bool>* stop = nullptr)
+      : fd_(fd),
+        idle_timeout_ms_(idle_timeout_ms),
+        max_line_bytes_(max_line_bytes),
+        stop_(stop) {}
+
+  ReadLineResult ReadLine(std::string* out);
+
+ private:
+  int fd_;
+  uint64_t idle_timeout_ms_;
+  size_t max_line_bytes_;
+  const std::atomic<bool>* stop_;
+  std::string buffer_;
+  bool peer_closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace pathest
+
+#endif  // PATHEST_SERVE_SOCKET_IO_H_

@@ -5,11 +5,11 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <csignal>
+
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <iterator>
 
 namespace pathest {
 
@@ -27,6 +27,23 @@ std::string ParentDir(const std::string& path) {
   if (slash == std::string::npos) return ".";
   if (slash == 0) return "/";
   return path.substr(0, slash);
+}
+
+// EINTR-retrying open(2). close(2) is deliberately not wrapped: on Linux
+// the descriptor is gone even when close returns EINTR, and retrying could
+// close an unrelated descriptor opened meanwhile by another thread.
+int OpenRetry(const char* path, int flags, mode_t mode = 0) {
+  for (;;) {
+    const int fd = ::open(path, flags, mode);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+int FsyncRetry(int fd) {
+  for (;;) {
+    const int rc = ::fsync(fd);
+    if (rc == 0 || errno != EINTR) return rc;
+  }
 }
 
 }  // namespace
@@ -47,7 +64,7 @@ AtomicFileWriter::~AtomicFileWriter() {
 }
 
 Status AtomicFileWriter::Open() {
-  fd_ = ::open(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  fd_ = OpenRetry(tmp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     return Status::IOError(ErrnoMessage("cannot create temp file", tmp_path_));
   }
@@ -99,7 +116,7 @@ Status AtomicFileWriter::Commit() {
       return FailAndCleanup("injected fsync failure: " + st.message());
     }
   }
-  if (::fsync(fd_) != 0) {
+  if (FsyncRetry(fd_) != 0) {
     return FailAndCleanup(ErrnoMessage("fsync failed", tmp_path_));
   }
   if (::close(fd_) != 0) {
@@ -121,9 +138,9 @@ Status AtomicFileWriter::Commit() {
   // Durability of the rename itself: fsync the parent directory. A failure
   // here is reported, but the file is already visible and complete.
   const std::string dir = ParentDir(final_path_);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  const int dir_fd = OpenRetry(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (dir_fd >= 0) {
-    const int rc = ::fsync(dir_fd);
+    const int rc = FsyncRetry(dir_fd);
     ::close(dir_fd);
     if (rc != 0) {
       return Status::IOError(ErrnoMessage("directory fsync failed", dir));
@@ -148,14 +165,31 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
 }
 
 Status ReadFileToString(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::in | std::ios::binary);
-  if (!in.is_open()) return Status::IOError("cannot open: " + path);
-  std::string content{std::istreambuf_iterator<char>(in),
-                      std::istreambuf_iterator<char>()};
-  if (in.bad()) return Status::IOError("read failed: " + path);
+  const int fd = OpenRetry(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));
+  std::string content;
+  struct stat st;
+  if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+    content.reserve(static_cast<size_t>(st.st_size));
+  }
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st_err = Status::IOError(ErrnoMessage("read failed", path));
+      ::close(fd);
+      return st_err;
+    }
+    content.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
   *out = std::move(content);
   return Status::OK();
 }
+
+void IgnoreSigpipeForProcess() { ::signal(SIGPIPE, SIG_IGN); }
 
 namespace {
 Status Truncated(const char* what) {

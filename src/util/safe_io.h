@@ -23,6 +23,14 @@
 // fault-injection suite (util/fault_injection.h) can simulate crashes at
 // every stage of a save. Test-only; not thread-safe against concurrent
 // writers.
+//
+// Signal safety: every read/write/fsync/open loop in this module retries
+// EINTR (a delivered signal must not surface as a spurious IOError in a
+// long-running daemon), and close() is deliberately NOT retried on EINTR —
+// on Linux the descriptor is closed regardless, and a retry could close a
+// descriptor re-used by another thread. Daemons should additionally call
+// IgnoreSigpipeForProcess() so a peer closing a socket mid-write yields
+// EPIPE (an error return) instead of killing the process.
 
 #ifndef PATHEST_UTIL_SAFE_IO_H_
 #define PATHEST_UTIL_SAFE_IO_H_
@@ -118,7 +126,13 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
 /// \brief Slurps a whole file (binary mode) into `*out`. IOError on any
 /// failure; the existing content of `*out` is replaced only on success.
+/// EINTR-safe: interrupted reads resume where they left off.
 Status ReadFileToString(const std::string& path, std::string* out);
+
+/// \brief Ignores SIGPIPE for the whole process (idempotent). A server
+/// writing to a socket whose peer died then sees EPIPE from write()/send()
+/// instead of being killed by the default SIGPIPE disposition.
+void IgnoreSigpipeForProcess();
 
 /// \brief Bounds-checked little-endian cursor over an in-memory buffer.
 ///

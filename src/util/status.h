@@ -26,6 +26,8 @@ enum class StatusCode : uint8_t {
   kNotImplemented = 6,
   kInternal = 7,
   kResourceExhausted = 8,
+  kDeadlineExceeded = 9,
+  kUnavailable = 10,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -69,6 +71,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// \brief True iff the status represents success.

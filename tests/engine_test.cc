@@ -3,9 +3,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -193,6 +195,74 @@ TEST(ThreadPoolTest, PoolIsReusableAfterTaskException) {
                    8, [](size_t, size_t) { throw std::string("not even an "
                                                              "exception"); }),
                std::string);
+}
+
+TEST(ThreadPoolTest, DestructionImmediatelyAfterConstruction) {
+  // The destructor must join workers that never saw a job — repeatedly,
+  // since the failure mode (a worker missing the shutdown wake) is a
+  // race, not a deterministic bug.
+  for (int i = 0; i < 50; ++i) {
+    ThreadPool pool(4);
+  }
+}
+
+TEST(ThreadPoolTest, DestructionRightAfterJobsDoesNotHang) {
+  // Lifecycle stress: construct, run a tiny job, destroy — the shutdown
+  // signal must never race a worker that is still draining the last job.
+  for (int i = 0; i < 30; ++i) {
+    ThreadPool pool(3);
+    std::atomic<size_t> ran{0};
+    pool.ParallelFor(5, [&](size_t, size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 5u);
+  }
+}
+
+TEST(ThreadPoolTest, SurvivesRepeatedExceptionJobs) {
+  // Exception recovery is not one-shot: alternate failing and clean jobs
+  // on one pool and demand full correctness from every clean one.
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_THROW(
+        pool.ParallelFor(16,
+                         [](size_t, size_t) {
+                           throw std::runtime_error("round failure");
+                         }),
+        std::runtime_error);
+    std::vector<std::atomic<int>> hits(24);
+    pool.ParallelFor(hits.size(), [&](size_t i, size_t) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ExternallySerializedSubmittersShareOnePool) {
+  // The contract allows one in-flight job at a time but not only from the
+  // constructing thread: several submitter threads take turns (their own
+  // mutex) driving the SAME pool, which must hand every job's indices out
+  // exactly once regardless of which thread called ParallelFor.
+  ThreadPool pool(4);
+  std::mutex turn;
+  std::atomic<size_t> total{0};
+  constexpr size_t kJobsPerSubmitter = 20;
+  constexpr size_t kIndicesPerJob = 32;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < 3; ++s) {
+    submitters.emplace_back([&] {
+      for (size_t j = 0; j < kJobsPerSubmitter; ++j) {
+        std::lock_guard<std::mutex> lock(turn);
+        pool.ParallelFor(kIndicesPerJob, [&](size_t, size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), 3 * kJobsPerSubmitter * kIndicesPerJob);
 }
 
 TEST(EvalContextTest, RootSubtreeWritesOnlyItsSlice) {
