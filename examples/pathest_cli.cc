@@ -13,7 +13,7 @@
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
 //   pathest_cli catalog verify [--json] <dir>
 //   pathest_cli serve <socket> <catalog-dir> [key=value ...]
-//   pathest_cli call <socket> <request words ...>
+//   pathest_cli call [--retries N] <socket> <request words ...>
 //   pathest_cli orderings
 //
 // The graph source of stats/analyze/accuracy is the <graph-file>
@@ -46,18 +46,29 @@
 // `catalog verify <dir>` checksum-walks every *.stats entry and exits
 // nonzero if ANY entry fails, printing one line per entry; it is the
 // operational integrity probe for a directory of persisted statistics.
-// With --json it prints one machine-readable JSON object instead (same
-// exit-code contract), for monitoring that should not scrape text.
+// When the directory carries a maintenance journal (maint/deltas.journal)
+// it is frame-walked too: every CRC checked, the last good offset
+// reported; a torn tail (crash artifact that startup recovery truncates)
+// is a warning, mid-file corruption is a failure. With --json it prints
+// one machine-readable JSON object instead (same exit-code contract),
+// for monitoring that should not scrape text.
 //
 // `serve <socket> <catalog-dir>` runs the concurrent estimation daemon
 // (serve/server.h): catalog entries served as immutable snapshots with
 // atomic hot-swap on `reload`, bounded-queue load shedding, per-request
 // deadlines, and degraded-mode serving of a partially corrupt catalog.
-// Optional key=value args: workers=N queue=N deadline_ms=N idle_ms=N.
+// Optional key=value args: workers=N queue=N deadline_ms=N idle_ms=N,
+// plus graph=FILE maint_k=N compact_every=N to enable online maintenance
+// (maint/online_maintenance.h): the update/compact protocol commands, a
+// crash-safe fsync-before-ack edge-delta journal under
+// <catalog-dir>/maint/, journal replay on startup, and incremental
+// statistics refresh published through the same atomic snapshot swap.
 // SIGTERM/SIGINT begin a graceful drain (in-flight requests answered)
-// and the daemon exits 0. `call <socket> <words...>` sends one request
-// line to a running daemon, prints the response line, and exits 0 iff
-// the response is "ok ..." — the scripting/smoke-test client.
+// and the daemon exits 0. `call [--retries N] <socket> <words...>` sends
+// one request line to a running daemon, prints the response line, and
+// exits 0 iff the response is "ok ..." — the scripting/smoke-test
+// client; --retries N adds exponential-backoff retry (jittered) on
+// transport failures and protocol errors marked retriable.
 //
 // Exit codes are uniform across subcommands: 0 = success, 1 = runtime
 // failure (including any failed estimate query or corrupt catalog entry,
@@ -84,6 +95,7 @@
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "maint/delta_journal.h"
 #include "ordering/factory.h"
 #include "path/selectivity.h"
 #include "serve/client.h"
@@ -174,18 +186,28 @@ int Usage() {
       "      (no paths: read one label path per stdin line)\n"
       "  pathest_cli accuracy <graph-file> <k> <ordering> <beta>\n"
       "  pathest_cli catalog verify [--json] <dir>\n"
-      "      (checksum-walk every *.stats entry; nonzero exit on any "
-      "failure;\n"
-      "       --json prints one machine-readable report object)\n"
+      "      (checksum-walk every *.stats entry AND the maintenance "
+      "journal,\n"
+      "       frame by frame; nonzero exit on any failure; a torn journal "
+      "tail\n"
+      "       is a warning, not a failure; --json prints one report "
+      "object)\n"
       "  pathest_cli serve <socket> <catalog-dir> [workers=N queue=N "
-      "deadline_ms=N idle_ms=N]\n"
+      "deadline_ms=N idle_ms=N graph=FILE maint_k=N compact_every=N]\n"
       "      (estimation daemon: atomic snapshot hot-swap on reload, "
       "load shedding,\n"
       "       per-request deadlines, degraded-mode serving; SIGTERM "
-      "drains gracefully)\n"
-      "  pathest_cli call <socket> <request words ...>\n"
+      "drains gracefully;\n"
+      "       graph=FILE enables online maintenance: the update/compact "
+      "commands,\n"
+      "       a crash-safe edge-delta journal, and incremental statistics "
+      "refresh)\n"
+      "  pathest_cli call [--retries N] <socket> <request words ...>\n"
       "      (one-shot client; prints the response line, exit 0 iff "
-      "'ok ...')\n"
+      "'ok ...';\n"
+      "       --retries N retries transport failures and retriable "
+      "errors\n"
+      "       with exponential backoff + jitter, N extra attempts)\n"
       "  pathest_cli orderings\n"
       "datasets: moreno dbpedia snap-er snap-ff\n"
       "<graph-file> (or the global --graph flag standing in for it) may "
@@ -323,9 +345,49 @@ int CmdCatalog(const std::vector<std::string>& args) {
   if (rest.size() != 2 || rest[0] != "verify") return Usage();
   auto report = VerifyCatalogDir(rest[1]);
   if (!report.ok()) return Fail(report.status());
+
+  // The maintenance journal, when present, is part of the catalog's
+  // integrity story: walk it frame by frame (ScanDeltaJournal checks every
+  // CRC) without modifying it. A torn tail is a WARNING (startup recovery
+  // amputates it); mid-file corruption or a bad header is a failure.
+  const std::string journal_path = rest[1] + "/maint/deltas.journal";
+  auto journal = maint::ScanDeltaJournal(journal_path);
+  const bool have_journal =
+      journal.ok() || journal.status().code() != StatusCode::kNotFound;
+  bool journal_corrupt = false;
+  std::string journal_json = "null";
+  if (have_journal) {
+    if (journal.ok()) {
+      size_t edges = 0;
+      for (const auto& record : journal->records) {
+        if (record.is_edge()) ++edges;
+      }
+      journal_json = "{\"path\":\"" + JsonEscape(journal_path) + "\"";
+      journal_json += ",\"records\":" + std::to_string(journal->records.size());
+      journal_json += ",\"edge_records\":" + std::to_string(edges);
+      journal_json +=
+          ",\"last_good_offset\":" + std::to_string(journal->last_good_offset);
+      journal_json += ",\"file_bytes\":" + std::to_string(journal->file_bytes);
+      journal_json +=
+          std::string(",\"torn_tail\":") + (journal->torn_tail ? "true" : "false");
+      journal_json += ",\"tail_bytes\":" + std::to_string(journal->tail_bytes);
+      journal_json += "}";
+    } else {
+      journal_corrupt = true;
+      journal_json = "{\"path\":\"" + JsonEscape(journal_path) +
+                     "\",\"error\":\"" +
+                     JsonEscape(journal.status().message()) + "\"}";
+    }
+  }
+  const bool failed = !report->failures.empty() || journal_corrupt;
+
   if (json) {
-    std::printf("%s\n", CatalogLoadReportToJson(*report, rest[1]).c_str());
-    return report->failures.empty() ? 0 : 1;
+    // Splice the journal status into the report object so consumers keep
+    // one top-level JSON value.
+    std::string out = CatalogLoadReportToJson(*report, rest[1]);
+    out.insert(out.size() - 1, ",\"journal\":" + journal_json);
+    std::printf("%s\n", out.c_str());
+    return failed ? 1 : 0;
   }
   for (const std::string& name : report->loaded) {
     std::printf("ok        %s\n", name.c_str());
@@ -336,9 +398,27 @@ int CmdCatalog(const std::vector<std::string>& args) {
     std::fprintf(stderr, "CORRUPT   %s: %s\n", where.c_str(),
                  f.status.ToString().c_str());
   }
+  if (have_journal) {
+    if (journal.ok()) {
+      size_t edges = 0;
+      for (const auto& record : journal->records) {
+        if (record.is_edge()) ++edges;
+      }
+      std::printf("journal   %s: %zu records (%zu edges), "
+                  "last_good_offset=%llu%s\n",
+                  journal_path.c_str(), journal->records.size(), edges,
+                  static_cast<unsigned long long>(journal->last_good_offset),
+                  journal->torn_tail ? " [TORN TAIL: recovery will truncate]"
+                                     : "");
+    } else {
+      std::fprintf(stderr, "CORRUPT   journal %s: %s\n", journal_path.c_str(),
+                   journal.status().ToString().c_str());
+    }
+  }
   std::printf("verified %s: %zu ok, %zu corrupt\n", rest[1].c_str(),
-              report->loaded.size(), report->failures.size());
-  return report->failures.empty() ? 0 : 1;
+              report->loaded.size(),
+              report->failures.size() + (journal_corrupt ? 1 : 0));
+  return failed ? 1 : 0;
 }
 
 // SIGTERM/SIGINT raise this flag; the serve main loop polls it and turns
@@ -360,6 +440,11 @@ int CmdServe(const std::vector<std::string>& args) {
           "serve options are key=value pairs, got '" + args[i] + "'"));
     }
     const std::string key = args[i].substr(0, eq);
+    // String-valued options first — everything below parses as u64.
+    if (key == "graph") {
+      options.graph_path = args[i].substr(eq + 1);
+      continue;
+    }
     auto value = serve::ParseU64Option(key, args[i].substr(eq + 1));
     if (!value.ok()) return Fail(value.status());
     if (key == "workers") {
@@ -373,10 +458,15 @@ int CmdServe(const std::vector<std::string>& args) {
       options.default_deadline_ms = *value;
     } else if (key == "idle_ms") {
       options.idle_timeout_ms = *value;
+    } else if (key == "maint_k") {
+      options.maint_k = *value;
+    } else if (key == "compact_every") {
+      options.compact_every_records = *value;
     } else {
       return Fail(Status::InvalidArgument(
           "unknown serve option '" + key +
-          "' (workers, queue, deadline_ms, idle_ms)"));
+          "' (workers, queue, deadline_ms, idle_ms, graph, maint_k, "
+          "compact_every)"));
     }
   }
 
@@ -420,12 +510,36 @@ int CmdServe(const std::vector<std::string>& args) {
 }
 
 int CmdCall(const std::vector<std::string>& args) {
-  if (args.size() < 2) return Usage();
-  auto client = serve::ServeClient::Connect(args[0]);
-  if (!client.ok()) return Fail(client.status());
-  std::string request = args[1];
-  for (size_t i = 2; i < args.size(); ++i) request += " " + args[i];
-  auto response = client->Call(request);
+  // `call <socket> [--retries N] <request words...>`: with retries, the
+  // request is resent (fresh connection, exponential backoff + jitter) on
+  // transport failures and typed RETRIABLE protocol errors; fatal errors
+  // and "ok" return immediately (serve/client.h CallWithRetry).
+  std::vector<std::string> rest;
+  size_t retries = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--retries") {
+      if (i + 1 >= args.size()) return Usage();
+      auto parsed = serve::ParseU64Option("--retries", args[++i]);
+      if (!parsed.ok()) return Fail(parsed.status());
+      retries = *parsed;
+    } else {
+      rest.push_back(args[i]);
+    }
+  }
+  if (rest.size() < 2) return Usage();
+  std::string request = rest[1];
+  for (size_t i = 2; i < rest.size(); ++i) request += " " + rest[i];
+
+  auto response = [&]() -> Result<std::string> {
+    if (retries == 0) {
+      auto client = serve::ServeClient::Connect(rest[0]);
+      if (!client.ok()) return client.status();
+      return client->Call(request);
+    }
+    serve::RetryOptions retry;
+    retry.max_attempts = retries + 1;
+    return serve::CallWithRetry(rest[0], request, retry);
+  }();
   if (!response.ok()) return Fail(response.status());
   std::printf("%s\n", response->c_str());
   // "ok ..." is success; "err ..." (typed protocol error) exits 1 so smoke

@@ -47,6 +47,13 @@ void SelectivityMap::Set(const LabelPath& path, uint64_t value) {
   values_[space_.CanonicalIndex(path)] = value;
 }
 
+void SelectivityMap::ZeroRange(uint64_t index, uint64_t count) {
+  PATHEST_CHECK(index <= values_.size() && count <= values_.size() - index,
+                "zero range out of bounds");
+  std::fill_n(values_.begin() + static_cast<ptrdiff_t>(index), count,
+              uint64_t{0});
+}
+
 uint64_t SelectivityMap::Total() const {
   uint64_t total = 0;
   for (uint64_t v : values_) total += v;
@@ -198,7 +205,6 @@ Result<SelectivityMap> ComputeSelectivitiesFused(
   PathSpace space(num_labels, k);
   SelectivityMap map(space);
   const size_t num_threads = ResolvedNumThreads(options, num_labels, k);
-  const uint64_t max_pairs = options.max_pairs_per_prefix;
 
   std::vector<Status> root_status(num_labels);  // level-1 guard violations
   const size_t num_cells = k >= 3 ? num_labels * num_labels : 0;
@@ -248,36 +254,10 @@ Result<SelectivityMap> ComputeSelectivitiesFused(
   // their exact weights.
   auto run_root = [&](size_t root, EvalContext& ctx) {
     Timer timer;
-    InitialPairSet(graph, static_cast<LabelId>(root), &ctx.levels[1]);
-    const uint64_t level1_size = ctx.levels[1].size();
-    const uint64_t root_index = space.LengthOffset(1) + root;
-    assert(root_index ==
-           space.CanonicalIndex(LabelPath{static_cast<LabelId>(root)}));
-    map.SetByCanonicalIndex(root_index, level1_size);
-    if (max_pairs != 0 && level1_size > max_pairs) {
-      root_status[root] =
-          PairLimitExceeded(LabelPath{static_cast<LabelId>(root)});
-    } else if (k >= 2 && level1_size > 0) {
-      const uint64_t child_base = space.LengthOffset(2) + root * num_labels;
-      if (k == 2) {
-        uint64_t* counts = ctx.leaf_counts.data();
-        std::fill_n(counts, num_labels, uint64_t{0});
-        ctx.fused.CountAll(ctx.levels[1], counts);
-        for (LabelId l = 0; l < num_labels; ++l) {
-          map.SetByCanonicalIndex(child_base + l, counts[l]);
-        }
-      } else {
-        ctx.fused.ExtendAll(ctx.levels[1], &level2[root * num_labels]);
-        for (LabelId l = 0; l < num_labels; ++l) {
-          const uint64_t size = level2[root * num_labels + l].size();
-          map.SetByCanonicalIndex(child_base + l, size);
-          if (max_pairs != 0 && size > max_pairs) {
-            cell_status[root * num_labels + l] = PairLimitExceeded(
-                LabelPath{static_cast<LabelId>(root), l});
-          }
-        }
-      }
-    }
+    root_status[root] = EvaluateFusedRootPrepass(
+        graph, ctx, static_cast<LabelId>(root), k, options, &map,
+        num_cells != 0 ? &level2[root * num_labels] : nullptr,
+        num_cells != 0 ? &cell_status[root * num_labels] : nullptr);
     root_ms[root] += timer.ElapsedMillis();
   };
 
@@ -328,9 +308,9 @@ Result<SelectivityMap> ComputeSelectivitiesFused(
     Timer timer;
     const size_t root = cell / num_labels;
     const LabelId l2 = static_cast<LabelId>(cell % num_labels);
-    LabelPath path{static_cast<LabelId>(root), l2};
-    FusedDfs r{&graph, &options, &map, &ctx, k};
-    cell_status[cell] = FusedDfsExtend(&r, &path, level2[cell], cell);
+    cell_status[cell] =
+        EvaluateFusedPrefixTask(graph, ctx, static_cast<LabelId>(root), l2,
+                                level2[cell], k, options, &map);
     level2[cell] = PairSet();  // release the consumed starting set
     const double ms = timer.ElapsedMillis();
     std::lock_guard<std::mutex> lock(callback_mu);
@@ -359,6 +339,70 @@ Result<SelectivityMap> ComputeSelectivitiesFused(
 }
 
 }  // namespace
+
+Status EvaluateFusedRootPrepass(const Graph& graph, EvalContext& ctx,
+                                LabelId root, size_t k,
+                                const SelectivityOptions& options,
+                                SelectivityMap* map, PairSet* level2_cells,
+                                Status* cell_status) {
+  const size_t num_labels = graph.num_labels();
+  const PathSpace& space = map->space();
+  const uint64_t max_pairs = options.max_pairs_per_prefix;
+  InitialPairSet(graph, root, &ctx.levels[1]);
+  const uint64_t level1_size = ctx.levels[1].size();
+  const uint64_t root_index = space.LengthOffset(1) + root;
+  assert(root_index == space.CanonicalIndex(LabelPath{root}));
+  map->SetByCanonicalIndex(root_index, level1_size);
+  if (max_pairs != 0 && level1_size > max_pairs) {
+    return PairLimitExceeded(LabelPath{root});
+  }
+  if (k >= 2 && level1_size > 0) {
+    const uint64_t child_base = space.LengthOffset(2) + root * num_labels;
+    if (k == 2) {
+      uint64_t* counts = ctx.leaf_counts.data();
+      std::fill_n(counts, num_labels, uint64_t{0});
+      ctx.fused.CountAll(ctx.levels[1], counts);
+      for (LabelId l = 0; l < num_labels; ++l) {
+        map->SetByCanonicalIndex(child_base + l, counts[l]);
+      }
+    } else {
+      ctx.fused.ExtendAll(ctx.levels[1], level2_cells);
+      for (LabelId l = 0; l < num_labels; ++l) {
+        const uint64_t size = level2_cells[l].size();
+        map->SetByCanonicalIndex(child_base + l, size);
+        if (max_pairs != 0 && size > max_pairs) {
+          cell_status[l] = PairLimitExceeded(LabelPath{root, l});
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status EvaluateFusedPrefixTask(const Graph& graph, EvalContext& ctx,
+                               LabelId root, LabelId l2, const PairSet& level2,
+                               size_t k, const SelectivityOptions& options,
+                               SelectivityMap* map) {
+  LabelPath path{root, l2};
+  FusedDfs r{&graph, &options, map, &ctx, k};
+  const uint64_t radix =
+      static_cast<uint64_t>(root) * graph.num_labels() + l2;
+  return FusedDfsExtend(&r, &path, level2, radix);
+}
+
+void ZeroPrefixSubtree(LabelId root, LabelId l2, SelectivityMap* map) {
+  const PathSpace& space = map->space();
+  const uint64_t num_labels = space.num_labels();
+  const uint64_t cell = static_cast<uint64_t>(root) * num_labels + l2;
+  // The prefix's digits are the most significant radix digits of the
+  // canonical index, so its length-d descendants are one contiguous run of
+  // |L|^(d-2) entries starting at cell * |L|^(d-2) within length d's block.
+  uint64_t stride = 1;
+  for (size_t d = 3; d <= space.k(); ++d) {
+    stride *= num_labels;
+    map->ZeroRange(space.LengthOffset(d) + cell * stride, stride);
+  }
+}
 
 Status EvaluateRootSubtree(const Graph& graph, EvalContext& ctx, LabelId root,
                            size_t k, const SelectivityOptions& options,

@@ -89,6 +89,10 @@ class SelectivityMap {
     values_[index] = value;
   }
 
+  /// \brief Zeroes `count` entries starting at canonical index `index`.
+  /// Used when patching a map in place (see ZeroPrefixSubtree).
+  void ZeroRange(uint64_t index, uint64_t count);
+
   /// \brief Sum of all selectivities (diagnostics).
   uint64_t Total() const;
 
@@ -214,6 +218,52 @@ Result<SelectivityMap> ComputeSelectivities(
 Status EvaluateRootSubtree(const Graph& graph, EvalContext& ctx, LabelId root,
                            size_t k, const SelectivityOptions& options,
                            SelectivityMap* map);
+
+/// \brief Runs the fused strategy's per-root pre-pass for `root` (Phase A
+/// of the depth-2 decomposition): builds the root's level-1 pair set into
+/// `ctx.levels[1]`, writes the length-1 map entry, and — for k >= 2 with a
+/// non-empty level — either counts the length-2 leaves directly (k == 2)
+/// or fused-extends into `level2_cells` (an array of num_labels PairSets,
+/// the prefix tasks' starting sets), writing every length-2 entry and
+/// recording per-cell guard violations into `cell_status` (an array of
+/// num_labels Status slots; only violating cells are written). Returns the
+/// root's own guard status (a level-1 violation skips level 2 entirely).
+///
+/// Preconditions: `ctx.fused` is Bound to (graph, options.kernel); for
+/// k >= 3, `level2_cells` and `cell_status` are non-null; `map` covers
+/// space (graph.num_labels(), k). Writes are confined to the root's
+/// disjoint canonical-index slices, so concurrent calls on distinct roots
+/// with distinct contexts are race-free.
+///
+/// Exported (rather than kept a lambda of the fused build) so the
+/// incremental maintenance engine (src/maint/incremental.h) re-runs
+/// EXACTLY the code path of the full build on dirtied roots — bit-identity
+/// of incremental and full rebuilds is by construction, not by parallel
+/// implementation.
+Status EvaluateFusedRootPrepass(const Graph& graph, EvalContext& ctx,
+                                LabelId root, size_t k,
+                                const SelectivityOptions& options,
+                                SelectivityMap* map, PairSet* level2_cells,
+                                Status* cell_status);
+
+/// \brief Evaluates one depth-2 prefix task (root, l2) — Phase B of the
+/// fused decomposition: the DFS over every extension of the length-2
+/// prefix whose (non-empty) pair set is `level2`, writing each
+/// length-3..k entry under the prefix. The subtree's map entries MUST be
+/// zero on entry (the DFS prunes empty children without visiting them) —
+/// guaranteed for a freshly-constructed map, restored by ZeroPrefixSubtree
+/// when patching one in place. `ctx.fused` must be Bound to
+/// (graph, options.kernel). Requires k >= 3.
+Status EvaluateFusedPrefixTask(const Graph& graph, EvalContext& ctx,
+                               LabelId root, LabelId l2, const PairSet& level2,
+                               size_t k, const SelectivityOptions& options,
+                               SelectivityMap* map);
+
+/// \brief Zeroes every length-3..k entry under the depth-2 prefix
+/// (root, l2) — exactly the write slices of EvaluateFusedPrefixTask. The
+/// incremental engine calls this on every dirtied task before re-running
+/// it against the patched graph.
+void ZeroPrefixSubtree(LabelId root, LabelId l2, SelectivityMap* map);
 
 /// \brief Evaluates a single path, returning its exact selectivity.
 /// Convenience for spot checks and tests; does not share work across calls.

@@ -1,5 +1,9 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
 #include <utility>
 
 namespace pathest {
@@ -38,6 +42,69 @@ Result<std::string> ServeClient::Call(const std::string& request) {
       break;
   }
   return Status::IOError("socket error while reading the response");
+}
+
+ResponseClass ClassifyResponse(std::string_view response) {
+  if (response == "ok" || response.rfind("ok ", 0) == 0) {
+    return ResponseClass::kOk;
+  }
+  if (response.rfind("err ", 0) != 0) return ResponseClass::kFatalError;
+  // "err CODE retriable|fatal message..." — the third token decides.
+  std::string_view rest = response.substr(4);
+  const size_t space = rest.find(' ');
+  if (space == std::string_view::npos) return ResponseClass::kFatalError;
+  rest = rest.substr(space + 1);
+  if (rest == "retriable" || rest.rfind("retriable ", 0) == 0) {
+    return ResponseClass::kRetriableError;
+  }
+  return ResponseClass::kFatalError;
+}
+
+Result<std::string> CallWithRetry(const std::string& socket_path,
+                                  const std::string& request,
+                                  const RetryOptions& options) {
+  const size_t attempts = std::max<size_t>(options.max_attempts, 1);
+  std::minstd_rand jitter_rng(
+      static_cast<std::minstd_rand::result_type>(options.jitter_seed + 1));
+  uint64_t backoff_ms = options.initial_backoff_ms;
+  std::string last_retriable;
+  Status last_status = Status::OK();
+
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0 && backoff_ms > 0) {
+      // Half fixed + half jittered: retries spread out instead of
+      // reconverging in lockstep after a shed storm.
+      const uint64_t half = backoff_ms / 2;
+      std::uniform_int_distribution<uint64_t> jitter(0, half);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(backoff_ms - half + jitter(jitter_rng)));
+      backoff_ms = std::min(backoff_ms * 2, options.max_backoff_ms);
+    }
+    // Reconnect every attempt: the previous failure may have consumed the
+    // connection (shed linger, drain close, daemon restart).
+    auto client =
+        ServeClient::Connect(socket_path, options.response_timeout_ms);
+    if (!client.ok()) {
+      last_status = client.status();
+      continue;
+    }
+    auto response = client->Call(request);
+    if (!response.ok()) {
+      last_status = response.status();
+      continue;
+    }
+    switch (ClassifyResponse(*response)) {
+      case ResponseClass::kOk:
+      case ResponseClass::kFatalError:
+        return *response;
+      case ResponseClass::kRetriableError:
+        last_retriable = std::move(*response);
+        break;
+    }
+  }
+  if (!last_retriable.empty()) return last_retriable;
+  if (!last_status.ok()) return last_status;
+  return Status::Unavailable("retries exhausted without a response");
 }
 
 }  // namespace serve

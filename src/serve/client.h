@@ -48,6 +48,45 @@ class ServeClient {
   LineReader reader_;
 };
 
+/// \brief How a response line should be treated by a retrying caller,
+/// per the protocol's error taxonomy (serve/protocol.h).
+enum class ResponseClass {
+  kOk,              ///< "ok ..." — done
+  kRetriableError,  ///< "err CODE retriable ..." — safe to resend verbatim
+  kFatalError,      ///< "err CODE fatal ..." (or unparseable) — do not retry
+};
+
+/// \brief Classifies one response line. Anything that is neither "ok" nor
+/// a well-formed retriable error is fatal: garbage must not be retried.
+ResponseClass ClassifyResponse(std::string_view response);
+
+/// \brief Retry policy for CallWithRetry: truncated exponential backoff
+/// with deterministic jitter.
+struct RetryOptions {
+  /// Total attempts, the first included (1 = no retrying).
+  size_t max_attempts = 3;
+  /// Backoff before the 2nd attempt; doubles each retry up to max.
+  uint64_t initial_backoff_ms = 20;
+  uint64_t max_backoff_ms = 2000;
+  /// Jitter source (deterministic per seed: tests pick fixed seeds).
+  /// Each wait is backoff/2 + uniform[0, backoff/2].
+  uint64_t jitter_seed = 1;
+  /// Per-attempt response timeout (ServeClient::Connect).
+  uint64_t response_timeout_ms = 30000;
+};
+
+/// \brief Dials `socket_path` and sends `request`, retrying with backoff
+/// on TRANSPORT failures (connect refused, connection lost, response
+/// timeout — each retry reconnects from scratch) and on protocol errors
+/// the taxonomy marks retriable (load shed, deadline, draining). Fatal
+/// protocol errors and "ok" responses return immediately — a fatal error
+/// line is a RESPONSE, not a Call failure, exactly as in ServeClient.
+/// When attempts run out, returns the last retriable error line if one
+/// was received, else the last transport status.
+Result<std::string> CallWithRetry(const std::string& socket_path,
+                                  const std::string& request,
+                                  const RetryOptions& options = {});
+
 }  // namespace serve
 }  // namespace pathest
 

@@ -24,6 +24,16 @@
 //   reload [dir=PATH]           -> ok loaded=N quarantined=M kept_stale=K
 //                                  removed=R serving=S degraded=0|1
 //                                  version=V
+//   update [wait=1] (add|remove <src> <dst> <label>)+
+//                               -> ok journaled=N pending=P
+//                                  (wait=1: blocks until the batch is
+//                                  applied -> ok applied=N epoch=E)
+//                                  Only when the daemon was started with
+//                                  graph=. The response is sent AFTER the
+//                                  batch is fsynced into the edge-delta
+//                                  journal: an "ok" survives any crash.
+//   compact                     -> ok compacted epoch=E   (folds the
+//                                  journal into a fresh base snapshot)
 //   shutdown                    -> ok draining   (then the daemon stops
 //                                  accepting, drains, and exits)
 //   slowop ms=N                 -> ok slept      (test builds only —
@@ -40,11 +50,15 @@
 //   DeadlineExceeded  retriable   the request's deadline expired between
 //                                 batch chunks
 //   Unavailable       retriable   reload already in progress / server
-//                                 draining
-//   NotFound          fatal       unknown entry name
+//                                 draining / update journaled but not yet
+//                                 applied when the daemon drained or the
+//                                 journal was quarantined (updates are
+//                                 idempotent, so retrying is always safe)
+//   NotFound          fatal       unknown entry name / unknown edge label
+//                                 in an update
 //   InvalidArgument   fatal       malformed request, unparseable path,
 //                                 path outside the entry's space, oversized
-//                                 line
+//                                 line, update/compact without graph=
 //
 // Responses never contain '\n' in the middle (error messages are
 // sanitized), so a line-oriented client can always parse them.

@@ -41,6 +41,41 @@ Status ServeServer::Start() {
   // could still raise SIGPIPE without this.
   IgnoreSigpipeForProcess();
 
+  // Maintenance recovery runs BEFORE the catalog load: replaying the
+  // edge-delta journal re-persists the entries, so the snapshots loaded
+  // below already include every acknowledged pre-crash update.
+  if (!options_.graph_path.empty()) {
+    maint::MaintenanceOptions mopts;
+    mopts.catalog_dir = options_.catalog_dir;
+    mopts.graph_path = options_.graph_path;
+    mopts.k = options_.maint_k;
+    mopts.compact_every_records = options_.compact_every_records;
+    maint_ = std::make_unique<maint::OnlineMaintenance>(std::move(mopts));
+    maint::RecoveryReport recovery;
+    PATHEST_RETURN_NOT_OK(maint_->Recover(&recovery));
+    counters_.journal_replayed_records.fetch_add(recovery.replayed_records,
+                                                 std::memory_order_relaxed);
+    if (recovery.quarantined) {
+      counters_.quarantined_journals.fetch_add(1, std::memory_order_relaxed);
+      quarantine_generation_.fetch_add(1, std::memory_order_relaxed);
+    }
+    applied_epoch_.store(maint_->epoch(), std::memory_order_release);
+    std::string json = "{\"type\":\"recovery\"";
+    json += ",\"replayed_records\":" +
+            std::to_string(recovery.replayed_records);
+    json += ",\"replayed_edges\":" + std::to_string(recovery.replayed_edges);
+    json += ",\"torn_tail_truncated\":" +
+            BoolJson(recovery.torn_tail_truncated);
+    json += ",\"torn_bytes\":" + std::to_string(recovery.torn_bytes);
+    json += ",\"bootstrapped_base\":" + BoolJson(recovery.bootstrapped_base);
+    json += ",\"quarantined\":" + BoolJson(recovery.quarantined);
+    json += ",\"detail\":\"" + JsonEscape(recovery.detail) + "\"}";
+    {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      last_maintenance_json_ = std::move(json);
+    }
+  }
+
   // Initial load, with reload's degraded-mode semantics: quarantined
   // entries are reported and the healthy remainder serves. Only an
   // unreadable directory is fatal — a daemon that can start degraded
@@ -70,12 +105,16 @@ Status ServeServer::Start() {
   for (size_t w = 0; w < options_.num_workers; ++w) {
     workers_.emplace_back(&ServeServer::WorkerLoop, this, w);
   }
+  if (maint_ != nullptr) {
+    maint_thread_ = std::thread(&ServeServer::MaintenanceLoop, this);
+  }
   return Status::OK();
 }
 
 void ServeServer::RequestStop() {
   stop_.store(true, std::memory_order_release);
   pending_.Stop();
+  maint_cv_.notify_all();
 }
 
 void ServeServer::Wait() {
@@ -85,9 +124,75 @@ void ServeServer::Wait() {
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }
+  if (maint_thread_.joinable()) maint_thread_.join();
   listen_fd_.reset();
   ::unlink(options_.socket_path.c_str());
   joined_ = true;
+}
+
+void ServeServer::MaintenanceLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(maint_mu_);
+      maint_cv_.wait(lock, [&] {
+        return maint_work_ || stop_.load(std::memory_order_acquire);
+      });
+      if (stop_.load(std::memory_order_acquire)) break;
+      maint_work_ = false;
+    }
+    RunRefresh();
+  }
+  // Drain: apply whatever is still pending so a graceful shutdown leaves
+  // the catalog fresh. Best-effort — anything unapplied stays journaled
+  // and replays on the next start.
+  if (maint_->pending_count() > 0) RunRefresh();
+  maint_cv_.notify_all();  // release any update wait=1 stragglers
+}
+
+void ServeServer::RunRefresh() {
+  std::lock_guard<std::mutex> op_lock(maint_op_mu_);
+  auto outcome = maint_->Refresh();
+  std::string json;
+  if (outcome.ok()) {
+    if (outcome->applied_edges > 0) {
+      counters_.incremental_refreshes.fetch_add(1, std::memory_order_relaxed);
+      applied_epoch_.store(outcome->epoch, std::memory_order_release);
+      // Republish through the same degraded-mode merge a reload uses.
+      {
+        std::lock_guard<std::mutex> reload_lock(reload_mu_);
+        ReloadLocked(options_.catalog_dir);
+      }
+      json = "{\"type\":\"refresh\"";
+      json += ",\"applied_edges\":" + std::to_string(outcome->applied_edges);
+      json += ",\"epoch\":" + std::to_string(outcome->epoch);
+      json += ",\"compacted\":" + BoolJson(outcome->compacted);
+      json += ",\"touched_roots\":" +
+              std::to_string(outcome->incremental.touched_roots);
+      json += ",\"total_roots\":" +
+              std::to_string(outcome->incremental.total_roots);
+      json += ",\"dirty_tasks\":" +
+              std::to_string(outcome->incremental.dirty_tasks);
+      json += ",\"total_tasks\":" +
+              std::to_string(outcome->incremental.total_tasks) + "}";
+    }
+  } else {
+    // The pending batch cannot be applied (or persisted): quarantine the
+    // journal and keep serving the last applied state.
+    auto aside = maint_->QuarantineJournal(outcome.status().message());
+    counters_.quarantined_journals.fetch_add(1, std::memory_order_relaxed);
+    quarantine_generation_.fetch_add(1, std::memory_order_release);
+    json = "{\"type\":\"quarantine\",\"error\":\"" +
+           JsonEscape(outcome.status().message()) + "\"";
+    if (aside.ok()) {
+      json += ",\"quarantine_path\":\"" + JsonEscape(*aside) + "\"";
+    }
+    json += "}";
+  }
+  if (!json.empty()) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_maintenance_json_ = std::move(json);
+  }
+  maint_cv_.notify_all();  // wake update wait=1 clients
 }
 
 void ServeServer::AcceptLoop() {
@@ -210,6 +315,8 @@ std::string ServeServer::HandleRequest(const std::string& line,
   if (cmd == "health") return HandleHealth();
   if (cmd == "stats") return "ok " + StatsJson();
   if (cmd == "reload") return HandleReload(*request);
+  if (cmd == "update") return HandleUpdate(*request);
+  if (cmd == "compact") return HandleCompact();
   if (cmd == "shutdown") {
     *close_after = true;
     RequestStop();
@@ -301,7 +408,10 @@ std::string ServeServer::HandleReload(const Request& request) {
     return FormatErrorResponse(
         Status::Unavailable("reload already in progress"));
   }
+  return ReloadLocked(dir);
+}
 
+std::string ServeServer::ReloadLocked(const std::string& dir) {
   const auto current = registry_.Get();
   const uint64_t next_version = current->version + 1;
   auto loaded = LoadCatalogSnapshots(dir, next_version);
@@ -361,6 +471,116 @@ std::string ServeServer::HandleReload(const Request& request) {
          " version=" + std::to_string(next_version);
 }
 
+std::string ServeServer::HandleUpdate(const Request& request) {
+  if (maint_ == nullptr) {
+    counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+    return FormatErrorResponse(Status::InvalidArgument(
+        "updates disabled: daemon started without graph="));
+  }
+  if (request.args.empty() || request.args.size() % 4 != 0) {
+    counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+    return FormatErrorResponse(Status::InvalidArgument(
+        "update needs (add|remove <src> <dst> <label>)+"));
+  }
+  std::vector<maint::EdgeDelta> deltas;
+  deltas.reserve(request.args.size() / 4);
+  for (size_t i = 0; i < request.args.size(); i += 4) {
+    maint::EdgeDelta delta;
+    const std::string& op = request.args[i];
+    if (op == "add") {
+      delta.add = true;
+    } else if (op == "remove") {
+      delta.add = false;
+    } else {
+      counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      return FormatErrorResponse(Status::InvalidArgument(
+          "update op must be add or remove, got '" + op + "'"));
+    }
+    auto src = ParseU64Option("src", request.args[i + 1]);
+    auto dst = ParseU64Option("dst", request.args[i + 2]);
+    if (!src.ok() || !dst.ok()) {
+      counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      return FormatErrorResponse((src.ok() ? dst : src).status());
+    }
+    if (*src > UINT32_MAX || *dst > UINT32_MAX) {
+      counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      return FormatErrorResponse(
+          Status::InvalidArgument("vertex id exceeds 32 bits"));
+    }
+    delta.src = static_cast<VertexId>(*src);
+    delta.dst = static_cast<VertexId>(*dst);
+    auto label = maint_->labels().Find(request.args[i + 3]);
+    if (!label.ok()) {
+      counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+      return FormatErrorResponse(Status::NotFound(
+          "unknown label '" + request.args[i + 3] +
+          "' (new labels need an offline rebuild)"));
+    }
+    delta.label = *label;
+    deltas.push_back(delta);
+  }
+
+  const uint64_t quarantine_before =
+      quarantine_generation_.load(std::memory_order_acquire);
+  auto ticket = maint_->JournalDeltas(deltas);
+  if (!ticket.ok()) {
+    // The journal could not be made durable — the one update error a
+    // client may NOT assume was applied. Retriable: replay is idempotent.
+    return FormatErrorResponse(Status(
+        StatusCode::kUnavailable,
+        "update not journaled: " + ticket.status().message()));
+  }
+  counters_.updates_journaled.fetch_add(deltas.size(),
+                                        std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(maint_mu_);
+    maint_work_ = true;
+  }
+  maint_cv_.notify_all();
+
+  if (request.Option("wait") != "1") {
+    return "ok journaled=" + std::to_string(deltas.size()) +
+           " pending=" + std::to_string(maint_->pending_count());
+  }
+  // wait=1: block until the batch is applied (ticket reached), dropped by
+  // a quarantine, or the daemon drains. Safe to retry after any error:
+  // applying an already-applied delta is a no-op.
+  std::unique_lock<std::mutex> lock(maint_mu_);
+  maint_cv_.wait(lock, [&] {
+    return maint_->applied_ticket() >= *ticket ||
+           quarantine_generation_.load(std::memory_order_acquire) !=
+               quarantine_before ||
+           stop_.load(std::memory_order_acquire);
+  });
+  if (maint_->applied_ticket() >= *ticket &&
+      quarantine_generation_.load(std::memory_order_acquire) ==
+          quarantine_before) {
+    return "ok applied=" + std::to_string(deltas.size()) +
+           " epoch=" +
+           std::to_string(applied_epoch_.load(std::memory_order_acquire));
+  }
+  if (quarantine_generation_.load(std::memory_order_acquire) !=
+      quarantine_before) {
+    return FormatErrorResponse(Status::Unavailable(
+        "journal quarantined before the update applied"));
+  }
+  return FormatErrorResponse(Status::Unavailable(
+      "draining before the update applied (journaled; replays on restart)"));
+}
+
+std::string ServeServer::HandleCompact() {
+  if (maint_ == nullptr) {
+    counters_.invalid_requests.fetch_add(1, std::memory_order_relaxed);
+    return FormatErrorResponse(Status::InvalidArgument(
+        "compaction disabled: daemon started without graph="));
+  }
+  std::lock_guard<std::mutex> op_lock(maint_op_mu_);
+  Status st = maint_->Compact();
+  if (!st.ok()) return FormatErrorResponse(st);
+  return "ok compacted epoch=" +
+         std::to_string(applied_epoch_.load(std::memory_order_acquire));
+}
+
 std::string ServeServer::HandleHealth() {
   const auto state = registry_.Get();
   return "ok serving entries=" + std::to_string(state->entries.size()) +
@@ -374,11 +594,19 @@ std::string ServeServer::StatsJson() const {
   out += ",\"degraded\":" + BoolJson(state->degraded);
   out += ",\"entries\":[";
   bool first = true;
+  const auto now = std::chrono::steady_clock::now();
   for (const auto& [name, snapshot] : state->entries) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":\"" + JsonEscape(name) + "\"";
-    out += ",\"version\":" + std::to_string(snapshot->version()) + "}";
+    out += ",\"version\":" + std::to_string(snapshot->version());
+    // Age since the snapshot was BUILT: a kept_stale entry (version older
+    // than the registry's) shows how long its statistics have been stale.
+    const auto age = std::chrono::duration_cast<std::chrono::seconds>(
+        now - snapshot->created());
+    out += ",\"age_s\":" + std::to_string(age.count());
+    out += ",\"stale\":" + BoolJson(snapshot->version() < state->version);
+    out += "}";
   }
   out += "],\"counters\":{";
   const ServeCounters& c = counters_;
@@ -400,7 +628,33 @@ std::string ServeServer::StatsJson() const {
          std::to_string(c.reloads.load(std::memory_order_relaxed));
   out += ",\"reload_conflicts\":" +
          std::to_string(c.reload_conflicts.load(std::memory_order_relaxed));
-  out += "},\"last_reload\":";
+  out += ",\"updates_journaled\":" +
+         std::to_string(c.updates_journaled.load(std::memory_order_relaxed));
+  out += ",\"journal_replayed_records\":" +
+         std::to_string(
+             c.journal_replayed_records.load(std::memory_order_relaxed));
+  out += ",\"incremental_refreshes\":" +
+         std::to_string(
+             c.incremental_refreshes.load(std::memory_order_relaxed));
+  out += ",\"quarantined_journals\":" +
+         std::to_string(
+             c.quarantined_journals.load(std::memory_order_relaxed));
+  out += "},\"maintenance\":";
+  if (maint_ == nullptr) {
+    out += "{\"enabled\":false}";
+  } else {
+    out += "{\"enabled\":true";
+    out += ",\"applied_epoch\":" +
+           std::to_string(applied_epoch_.load(std::memory_order_acquire));
+    out += ",\"pending\":" + std::to_string(maint_->pending_count());
+    out += ",\"last_event\":";
+    {
+      std::lock_guard<std::mutex> lock(report_mu_);
+      out += last_maintenance_json_.empty() ? "null" : last_maintenance_json_;
+    }
+    out += "}";
+  }
+  out += ",\"last_reload\":";
   {
     std::lock_guard<std::mutex> lock(report_mu_);
     out += last_reload_json_.empty() ? "null" : last_reload_json_;

@@ -33,6 +33,17 @@
 //     between fixed-size batch chunks; expiry yields a typed retriable
 //     DeadlineExceeded. Idle connections are reaped by a read timeout.
 //
+//   * Online maintenance (opt-in via ServeOptions::graph_path). `update`
+//     appends edge deltas to a crash-safe fsynced journal
+//     (maint/delta_journal.h) — acknowledged only once durable — and a
+//     background maintenance thread applies them with an INCREMENTAL
+//     statistics rebuild (maint/incremental.h, bit-identical to a full
+//     rebuild), re-persists the catalog entries, and republishes through
+//     the same atomic snapshot swap a reload uses. Startup replays the
+//     journal, so no acknowledged update is ever lost to a crash; an
+//     unusable journal is quarantined aside and the last good state keeps
+//     serving (degraded, visible in `stats`).
+//
 //   * Graceful drain. RequestStop() (the `shutdown` command, or SIGTERM in
 //     the CLI) stops the accept loop, lets every in-flight request finish
 //     and be answered, answers queued-but-unserved connections with a
@@ -48,6 +59,7 @@
 #define PATHEST_SERVE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -55,6 +67,7 @@
 #include <thread>
 #include <vector>
 
+#include "maint/online_maintenance.h"
 #include "ordering/ordering.h"
 #include "serve/bounded_queue.h"
 #include "serve/protocol.h"
@@ -85,6 +98,16 @@ struct ServeOptions {
   bool enable_test_commands = false;
   /// listen(2) backlog.
   int listen_backlog = 128;
+  /// Bootstrap graph for online maintenance. Non-empty ENABLES the
+  /// `update`/`compact` commands: Start() recovers the edge-delta journal
+  /// under <catalog_dir>/maint (replaying acknowledged updates over the
+  /// base snapshot) and spawns the maintenance thread. Empty (default)
+  /// serves statically, exactly as before.
+  std::string graph_path;
+  /// Maintenance selectivity depth (0 = derive from the catalog entries).
+  size_t maint_k = 0;
+  /// Journal auto-compaction threshold (maint::MaintenanceOptions).
+  uint64_t compact_every_records = 4096;
 };
 
 /// \brief Monotonic counters exposed by `stats` (all atomics: written by
@@ -99,6 +122,11 @@ struct ServeCounters {
   std::atomic<uint64_t> invalid_requests{0};
   std::atomic<uint64_t> reloads{0};
   std::atomic<uint64_t> reload_conflicts{0};
+  /// Online maintenance (all zero when serving statically).
+  std::atomic<uint64_t> updates_journaled{0};
+  std::atomic<uint64_t> journal_replayed_records{0};
+  std::atomic<uint64_t> incremental_refreshes{0};
+  std::atomic<uint64_t> quarantined_journals{0};
 };
 
 class ServeServer {
@@ -136,10 +164,14 @@ class ServeServer {
   }
   /// \brief The single-line JSON payload of the `stats` response.
   std::string StatsJson() const;
+  /// \brief The maintenance engine, or nullptr when serving statically
+  /// (tests poke recovery state through this).
+  const maint::OnlineMaintenance* maintenance() const { return maint_.get(); }
 
  private:
   void AcceptLoop();
   void WorkerLoop(size_t worker);
+  void MaintenanceLoop();
   void HandleConnection(UniqueFd conn, RankScratch& scratch);
   // Returns the response line (no terminator); sets *close_after for
   // requests that end the connection (shutdown).
@@ -147,7 +179,14 @@ class ServeServer {
                             bool* close_after);
   std::string HandleEstimate(const Request& request, RankScratch& scratch);
   std::string HandleReload(const Request& request);
+  std::string HandleUpdate(const Request& request);
+  std::string HandleCompact();
   std::string HandleHealth();
+  // The body of a reload against `dir`; caller holds reload_mu_.
+  std::string ReloadLocked(const std::string& dir);
+  // Runs one Refresh under maint_op_mu_, publishes the refreshed entries,
+  // and wakes wait=1 update clients; quarantines the journal on failure.
+  void RunRefresh();
 
   ServeOptions options_;
   SnapshotRegistry registry_;
@@ -164,8 +203,23 @@ class ServeServer {
   std::mutex lifecycle_mu_;  // guards Wait()'s join against double-join
 
   std::mutex reload_mu_;          // at most one reload in flight
-  mutable std::mutex report_mu_;  // guards last_reload_json_
+  mutable std::mutex report_mu_;  // guards the last_* JSON strings
   std::string last_reload_json_;
+  std::string last_maintenance_json_;
+
+  // Online maintenance (engaged only when options_.graph_path is set).
+  // Workers call maint_->JournalDeltas concurrently (it locks internally);
+  // state-mutating operations (Refresh, Compact, Quarantine) are
+  // serialized by maint_op_mu_ between the maintenance thread and the
+  // `compact` handler.
+  std::unique_ptr<maint::OnlineMaintenance> maint_;
+  std::thread maint_thread_;
+  std::mutex maint_op_mu_;
+  std::mutex maint_mu_;  // guards maint_work_ + the cv waits below
+  std::condition_variable maint_cv_;
+  bool maint_work_ = false;
+  std::atomic<uint64_t> applied_epoch_{0};
+  std::atomic<uint64_t> quarantine_generation_{0};
 };
 
 }  // namespace serve

@@ -39,6 +39,7 @@
 #define PATHEST_SERVE_SNAPSHOT_REGISTRY_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -82,6 +83,7 @@ class ServingSnapshot {
       : name_(std::move(name)),
         loaded_(std::move(loaded)),
         version_(version),
+        created_(std::chrono::steady_clock::now()),
         serving_(loaded_.estimator) {}
 
   ServingSnapshot(const ServingSnapshot&) = delete;
@@ -89,6 +91,10 @@ class ServingSnapshot {
 
   const std::string& name() const { return name_; }
   uint64_t version() const { return version_; }
+  /// \brief When this snapshot was built. A reload that keeps a stale
+  /// snapshot keeps its original timestamp, so `stats` can report how old
+  /// a kept_stale entry's statistics are.
+  std::chrono::steady_clock::time_point created() const { return created_; }
   /// \brief The label dictionary request paths parse against.
   const LabelDictionary& labels() const { return loaded_.labels; }
   /// \brief The immutable fast-path serving facade (thread-safe for any
@@ -99,6 +105,7 @@ class ServingSnapshot {
   std::string name_;
   LoadedPathHistogram loaded_;  // declared before serving_: it borrows this
   uint64_t version_;
+  std::chrono::steady_clock::time_point created_;
   Estimator serving_;
 };
 

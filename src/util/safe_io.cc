@@ -164,6 +164,105 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents) {
   return writer.Commit();
 }
 
+DurableAppendFile::~DurableAppendFile() { Close(); }
+
+Status DurableAppendFile::Open(const std::string& path) {
+  Close();
+  fd_ = OpenRetry(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError(ErrnoMessage("cannot open for append", path));
+  }
+  const off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) {
+    Close();
+    return Status::IOError(ErrnoMessage("cannot seek to end of", path));
+  }
+  path_ = path;
+  offset_ = static_cast<uint64_t>(end);
+  return Status::OK();
+}
+
+Status DurableAppendFile::Append(std::string_view bytes) {
+  if (fd_ < 0) return Status::IOError("append file not open");
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(bytes.data());
+  size_t n = bytes.size();
+  while (n > 0) {
+    size_t chunk = n;
+    if (g_write_faults != nullptr) {
+      size_t allowed = chunk;
+      Status st = g_write_faults->OnWrite(offset_, chunk, &allowed);
+      if (allowed < chunk) chunk = allowed;
+      if (!st.ok()) {
+        // Land the permitted short write first — the torn-tail shape a
+        // real crash produces. The file is NOT cleaned up: the tail is
+        // the artifact recovery is exercised against.
+        if (chunk > 0 && ::write(fd_, p, chunk) > 0) {
+          offset_ += chunk;
+        }
+        return Status::IOError("injected write failure after " +
+                               std::to_string(offset_) + " bytes: " +
+                               st.message());
+      }
+    }
+    const ssize_t wrote = ::write(fd_, p, chunk);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(ErrnoMessage("append failed", path_));
+    }
+    p += wrote;
+    n -= static_cast<size_t>(wrote);
+    offset_ += static_cast<uint64_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status DurableAppendFile::Sync() {
+  if (fd_ < 0) return Status::IOError("append file not open");
+  if (g_write_faults != nullptr) {
+    Status st = g_write_faults->OnSync();
+    if (!st.ok()) {
+      return Status::IOError("injected fsync failure: " + st.message());
+    }
+  }
+  if (FsyncRetry(fd_) != 0) {
+    return Status::IOError(ErrnoMessage("fsync failed", path_));
+  }
+  return Status::OK();
+}
+
+void DurableAppendFile::Close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TruncateFileDurable(const std::string& path, uint64_t new_size) {
+  for (;;) {
+    const int rc = ::truncate(path.c_str(), static_cast<off_t>(new_size));
+    if (rc == 0) break;
+    if (errno == EINTR) continue;
+    return Status::IOError(ErrnoMessage("truncate failed", path));
+  }
+  const int fd = OpenRetry(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage("cannot reopen for fsync", path));
+  }
+  if (g_write_faults != nullptr) {
+    Status st = g_write_faults->OnSync();
+    if (!st.ok()) {
+      (void)::close(fd);
+      return Status::IOError("injected fsync failure: " + st.message());
+    }
+  }
+  const int rc = FsyncRetry(fd);
+  (void)::close(fd);
+  if (rc != 0) {
+    return Status::IOError(ErrnoMessage("fsync after truncate failed", path));
+  }
+  return Status::OK();
+}
+
 Status ReadFileToString(const std::string& path, std::string* out) {
   const int fd = OpenRetry(path.c_str(), O_RDONLY);
   if (fd < 0) return Status::IOError(ErrnoMessage("cannot open", path));

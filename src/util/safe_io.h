@@ -124,6 +124,56 @@ class AtomicFileWriter {
 /// \brief One-shot atomic write of `contents` to `path`.
 Status AtomicWriteFile(const std::string& path, std::string_view contents);
 
+/// \brief Append-only writer with explicit durability points — the
+/// substrate of the edge-delta journal (maint/delta_journal.h), where the
+/// file GROWS in place instead of being republished whole.
+///
+/// The discipline is append-then-Sync: Append() hands bytes to the kernel,
+/// Sync() (fdatasync) makes everything appended so far durable; a record
+/// is acknowledged only after its Sync returns OK. Both stages consult the
+/// process-wide WriteFaultInjector (the same hook AtomicFileWriter uses),
+/// and an injected write failure may land a short write first — so the
+/// crash matrix produces exactly the torn-tail shape a power loss leaves,
+/// which the journal's recovery scan must (and does) amputate. Unlike
+/// AtomicFileWriter, a failure does NOT unlink anything: the file plus its
+/// torn tail IS the crash artifact recovery is tested against.
+class DurableAppendFile {
+ public:
+  DurableAppendFile() = default;
+  ~DurableAppendFile();  // closes without syncing (unsynced tail may tear)
+
+  DurableAppendFile(const DurableAppendFile&) = delete;
+  DurableAppendFile& operator=(const DurableAppendFile&) = delete;
+
+  /// \brief Opens (creating if absent) `path` for appending; records the
+  /// current end-of-file offset.
+  Status Open(const std::string& path);
+
+  /// \brief Appends bytes (EINTR-safe). Not yet durable.
+  Status Append(std::string_view bytes);
+
+  /// \brief Makes every appended byte durable (fdatasync).
+  Status Sync();
+
+  /// \brief Closes the descriptor without syncing. Idempotent.
+  void Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  /// \brief End-of-file offset: bytes handed to the kernel so far.
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  uint64_t offset_ = 0;
+};
+
+/// \brief Truncates `path` to `new_size` bytes and fsyncs it — recovery's
+/// torn-tail amputation. Consults the WriteFaultInjector's OnSync (a crash
+/// between truncate and fsync re-runs recovery, which is idempotent).
+Status TruncateFileDurable(const std::string& path, uint64_t new_size);
+
 /// \brief Slurps a whole file (binary mode) into `*out`. IOError on any
 /// failure; the existing content of `*out` is replaced only on success.
 /// EINTR-safe: interrupted reads resume where they left off.
