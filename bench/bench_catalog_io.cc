@@ -1,9 +1,14 @@
-// bench_catalog_io: load-time comparison of the two on-disk catalog
+// bench_catalog_io: load-time comparison of the three on-disk catalog
 // formats (core/serialize.h) at serving scale — a β≈28k estimator over
 // |L_3| = 30783 paths (31 labels, lengths 1..3), the catalog size the
-// paper's full-graph analyses produce. The text format pays hexfloat parsing per bucket row; the
-// binary v1 format pays four CRC32C sweeps and then reinterprets the
-// column-major u64 rows directly, which is the point of having it.
+// paper's full-graph analyses produce. The text format pays hexfloat
+// parsing per bucket row; the binary v1 format pays CRC32C sweeps and then
+// reinterprets the column-major u64 rows directly; the page-aligned binary
+// v2 is additionally mmap-servable: MappedCatalogEntry construction is
+// header validation + pointer fixup (microseconds, no row copies), with
+// the CRC sweep optional per verify tier and the row bytes faulted lazily.
+// The bench asserts the zero-copy construction stays >= 50x faster than
+// the v1 copying load, and that every path serves bit-identically.
 //
 // The estimator is synthetic (deterministic fabricated buckets assembled
 // through the same FromBuckets/FromParts path deserialization uses), so
@@ -22,6 +27,8 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/catalog_cache.h"
+#include "core/mapped_catalog.h"
 #include "core/serialize.h"
 #include "histogram/histogram.h"
 #include "ordering/factory.h"
@@ -89,6 +96,22 @@ double BestLoadMillis(const std::string& path, size_t reps) {
   return best;
 }
 
+// Best-of mmap zero-copy construction: map + parse + pointer fixup, no
+// row copies. Returns microseconds — the v2 headline is in a different
+// unit class than the millisecond loads above.
+double BestMmapConstructMicros(const std::string& path, CatalogVerify verify,
+                               size_t reps) {
+  double best = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    Timer timer;
+    auto mapped = MappedCatalogEntry::Open(path, verify);
+    const double us = static_cast<double>(timer.ElapsedNanos()) / 1000.0;
+    bench::DieIf(mapped.status(), "MappedCatalogEntry::Open");
+    if (us < best) best = us;
+  }
+  return best;
+}
+
 int Run(bool json_mode, const std::string& json_path) {
   const size_t k = 3;
   const size_t num_labels = 31;
@@ -117,21 +140,34 @@ int Run(bool json_mode, const std::string& json_path) {
   bench::DieIf(WritePathHistogramBinary(est, labels, cards, &binary),
                "write binary");
   bench::DieIf(AtomicWriteFile(bin_path, binary), "save binary");
-  std::printf("text=%zu bytes, binary=%zu bytes\n", text.str().size(),
-              binary.size());
+  const std::string v2_path = dir + "/pathest_bench_catalog.v2.stats";
+  std::string v2;
+  bench::DieIf(WritePathHistogramBinaryV2(est, labels, cards, &v2),
+               "write binary v2");
+  bench::DieIf(AtomicWriteFile(v2_path, v2), "save binary v2");
+  std::printf("text=%zu bytes, binary=%zu bytes, binary-v2=%zu bytes\n",
+              text.str().size(), binary.size(), v2.size());
 
   // Correctness gate before any timing: both loads must reproduce the
   // original estimator bit-exactly over the whole domain.
   auto from_text = LoadPathHistogram(text_path);
   auto from_bin = LoadPathHistogram(bin_path);
+  auto from_v2 = LoadPathHistogram(v2_path);
+  auto from_mmap = MappedCatalogEntry::Open(v2_path, CatalogVerify::kFull);
   bench::DieIf(from_text.status(), "load text");
   bench::DieIf(from_bin.status(), "load binary");
+  bench::DieIf(from_v2.status(), "load binary v2");
+  bench::DieIf(from_mmap.status(), "mmap binary v2");
   PathSpace space(num_labels, k);
+  RankScratch scratch;
+  scratch.Reserve(num_labels);
   size_t mismatches = 0;
   space.ForEach([&](const LabelPath& p) {
     const double want = est.Estimate(p);
     if (from_text->estimator.Estimate(p) != want ||
-        from_bin->estimator.Estimate(p) != want) {
+        from_bin->estimator.Estimate(p) != want ||
+        from_v2->estimator.Estimate(p) != want ||
+        (*from_mmap)->estimator().Estimate(p, scratch) != want) {
       ++mismatches;
     }
   });
@@ -139,8 +175,9 @@ int Run(bool json_mode, const std::string& json_path) {
     std::fprintf(stderr, "FORMAT MISMATCH on %zu paths\n", mismatches);
     return 1;
   }
-  std::printf("cross-format identity: OK over all %llu paths\n",
+  std::printf("cross-format identity (incl. mmap): OK over all %llu paths\n",
               static_cast<unsigned long long>(domain));
+  from_mmap->reset();  // drop the pin before timing
 
   const double text_ms = BestLoadMillis(text_path, reps);
   const double binary_ms = BestLoadMillis(bin_path, reps);
@@ -149,8 +186,63 @@ int Run(bool json_mode, const std::string& json_path) {
               "binary speedup=%.2fx\n",
               reps, text_ms, binary_ms, speedup);
 
+  // v2 rows: the copying load (kFull rebuild comparisons — the strictest
+  // tier), the zero-copy constructions at the trusted and checksummed
+  // tiers, the first estimate straight after mapping (faults the pages
+  // the query touches), and a cache re-pin of an unchanged file.
+  const double v2_copy_ms = BestLoadMillis(v2_path, reps);
+  const double v2_mmap_construct_us =
+      BestMmapConstructMicros(v2_path, CatalogVerify::kTrusted, reps);
+  const double v2_mmap_verified_us =
+      BestMmapConstructMicros(v2_path, CatalogVerify::kChecksums, reps);
+  double v2_first_estimate_us = 1e300;
+  for (size_t r = 0; r < reps; ++r) {
+    auto mapped = MappedCatalogEntry::Open(v2_path, CatalogVerify::kTrusted);
+    bench::DieIf(mapped.status(), "mmap for first-estimate");
+    LabelPath probe;
+    probe.PushBack(0);
+    Timer timer;
+    const double got = (*mapped)->estimator().Estimate(probe, scratch);
+    const double us = static_cast<double>(timer.ElapsedNanos()) / 1000.0;
+    if (got != est.Estimate(probe)) {
+      std::fprintf(stderr, "FIRST-ESTIMATE MISMATCH\n");
+      return 1;
+    }
+    if (us < v2_first_estimate_us) v2_first_estimate_us = us;
+  }
+  double v2_repin_us = 1e300;
+  {
+    CatalogCache cache;
+    auto first = cache.GetOrOpen(v2_path);
+    bench::DieIf(first.status(), "cache prime");
+    for (size_t r = 0; r < reps; ++r) {
+      Timer timer;
+      auto again = cache.GetOrOpen(v2_path);
+      const double us = static_cast<double>(timer.ElapsedNanos()) / 1000.0;
+      bench::DieIf(again.status(), "cache re-pin");
+      if (us < v2_repin_us) v2_repin_us = us;
+    }
+  }
+  const double mmap_speedup = binary_ms * 1000.0 / v2_mmap_construct_us;
+  std::printf("v2 (best of %zu): copy=%.3fms mmap-construct=%.1fus "
+              "mmap-verified=%.1fus first-estimate=%.2fus repin=%.2fus  "
+              "mmap speedup over v1 copy=%.0fx\n",
+              reps, v2_copy_ms, v2_mmap_construct_us, v2_mmap_verified_us,
+              v2_first_estimate_us, v2_repin_us, mmap_speedup);
+  // The acceptance floor of the zero-copy path is part of the bench: a
+  // regression that drags construction back toward a copying load fails
+  // loudly instead of quietly shipping a slower number.
+  if (mmap_speedup < 50.0) {
+    std::fprintf(stderr,
+                 "MMAP SPEEDUP REGRESSION: %.1fx < 50x floor "
+                 "(construct=%.1fus vs v1 copy=%.3fms)\n",
+                 mmap_speedup, v2_mmap_construct_us, binary_ms);
+    return 1;
+  }
+
   std::remove(text_path.c_str());
   std::remove(bin_path.c_str());
+  std::remove(v2_path.c_str());
 
   if (!json_mode) return 0;
   std::FILE* out = std::fopen(json_path.c_str(), "w");
@@ -170,11 +262,20 @@ int Run(bool json_mode, const std::string& json_path) {
                "  \"binary_bytes\": %zu,\n"
                "  \"text_ms\": %.4f,\n"
                "  \"binary_ms\": %.4f,\n"
-               "  \"speedup\": %.3f\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"v2_bytes\": %zu,\n"
+               "  \"v2_copy_ms\": %.4f,\n"
+               "  \"v2_mmap_construct_us\": %.2f,\n"
+               "  \"v2_mmap_verified_us\": %.2f,\n"
+               "  \"v2_first_estimate_us\": %.2f,\n"
+               "  \"v2_repin_us\": %.2f,\n"
+               "  \"mmap_speedup\": %.1f\n"
                "}\n",
                k, num_labels, static_cast<unsigned long long>(domain), beta,
                reps, text.str().size(), binary.size(), text_ms, binary_ms,
-               speedup);
+               speedup, v2.size(), v2_copy_ms, v2_mmap_construct_us,
+               v2_mmap_verified_us, v2_first_estimate_us, v2_repin_us,
+               mmap_speedup);
   std::fclose(out);
   std::printf("wrote %s\n", json_path.c_str());
   return 0;

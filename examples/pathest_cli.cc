@@ -12,6 +12,7 @@
 //   pathest_cli estimate <stats-file> [<path> ...]
 //   pathest_cli accuracy <graph-file> <k> <ordering> <beta>
 //   pathest_cli catalog verify [--json] <dir>
+//   pathest_cli catalog convert <dir> --format text|binary|binary-v2
 //   pathest_cli serve <socket> <catalog-dir> [key=value ...]
 //   pathest_cli call [--retries N] <socket> <request words ...>
 //   pathest_cli orderings
@@ -57,7 +58,8 @@
 // (serve/server.h): catalog entries served as immutable snapshots with
 // atomic hot-swap on `reload`, bounded-queue load shedding, per-request
 // deadlines, and degraded-mode serving of a partially corrupt catalog.
-// Optional key=value args: workers=N queue=N deadline_ms=N idle_ms=N,
+// Optional key=value args: workers=N queue=N deadline_ms=N idle_ms=N
+// mmap_budget=BYTES (residency budget for zero-copy binary-v2 serving),
 // plus graph=FILE maint_k=N compact_every=N to enable online maintenance
 // (maint/online_maintenance.h): the update/compact protocol commands, a
 // crash-safe fsync-before-ack edge-delta journal under
@@ -118,9 +120,12 @@ PairKernel g_kernel = PairKernel::kAuto;
 // depth-2 prefix tasks, per-label = the baseline engine).
 ExtendStrategy g_strategy = ExtendStrategy::kFused;
 
-// On-disk catalog format for analyze's save; set by --format. Readers
-// sniff, so there is no corresponding load flag.
+// On-disk catalog format for analyze's save and catalog convert's target;
+// set by --format. Readers sniff, so there is no corresponding load flag.
 CatalogFormat g_format = CatalogFormat::kText;
+// True when --format appeared on the command line: `catalog convert`
+// demands an explicit target instead of silently rewriting to text.
+bool g_format_seen = false;
 
 // Loads the graph named by `spec` — a file path, or "-" for stdin —
 // through the streaming ingest pipeline, echoing the resolved ingest
@@ -191,9 +196,17 @@ int Usage() {
       "       frame by frame; nonzero exit on any failure; a torn journal "
       "tail\n"
       "       is a warning, not a failure; --json prints one report "
-      "object)\n"
+      "object;\n"
+      "       each healthy entry reports its format and, for binary-v2, "
+      "alignment)\n"
+      "  pathest_cli catalog convert <dir> --format text|binary|binary-v2\n"
+      "      (rewrite every entry to the target format in place via "
+      "atomic rename;\n"
+      "       full verify on read; corrupt entries are reported and left "
+      "untouched)\n"
       "  pathest_cli serve <socket> <catalog-dir> [workers=N queue=N "
-      "deadline_ms=N idle_ms=N graph=FILE maint_k=N compact_every=N]\n"
+      "deadline_ms=N idle_ms=N graph=FILE maint_k=N compact_every=N "
+      "mmap_budget=BYTES]\n"
       "      (estimation daemon: atomic snapshot hot-swap on reload, "
       "load shedding,\n"
       "       per-request deadlines, degraded-mode serving; SIGTERM "
@@ -218,8 +231,9 @@ int Usage() {
       "(auto = per-group cost-based choice, default)\n"
       "--strategy S: evaluator decomposition, fused|per-label "
       "(fused = all-labels kernel + prefix tasks, default)\n"
-      "--format F: on-disk catalog format analyze writes, text|binary "
-      "(text default; binary = checksummed catalog v1; readers sniff)\n");
+      "--format F: catalog format analyze writes / convert targets, "
+      "text|binary|binary-v2 (text default; binary = checksummed catalog "
+      "v1; binary-v2 = page-aligned mmap-servable; readers sniff)\n");
   return 2;
 }
 
@@ -329,6 +343,54 @@ int CmdEstimate(const std::vector<std::string>& args) {
   return 0;
 }
 
+// `catalog convert <dir> --format F`: rewrites every entry to the target
+// format IN PLACE through the atomic-rename writer — a crash mid-convert
+// leaves each entry either fully old-format or fully new-format, never
+// torn. Every entry is fully verified on the way in (LoadPathHistogram
+// runs the strictest tier for its format), so a corrupt entry is reported
+// and left untouched rather than laundered into a fresh file.
+int CmdCatalogConvert(const std::string& dir) {
+  if (!g_format_seen) {
+    return Fail(Status::InvalidArgument(
+        "catalog convert requires an explicit --format "
+        "text|binary|binary-v2 target"));
+  }
+  auto entries = ListCatalogEntryPaths(dir);
+  if (!entries.ok()) return Fail(entries.status());
+  size_t converted = 0;
+  size_t skipped = 0;
+  size_t failed = 0;
+  for (const std::string& path : *entries) {
+    auto current = SniffCatalogFormat(path);
+    if (current.ok() && *current == g_format) {
+      ++skipped;
+      std::printf("skip      %s (already %s)\n", path.c_str(),
+                  CatalogFormatName(g_format));
+      continue;
+    }
+    auto loaded = LoadPathHistogram(path);
+    if (!loaded.ok()) {
+      ++failed;
+      std::fprintf(stderr, "CORRUPT   %s: %s (left untouched)\n",
+                   path.c_str(), loaded.status().ToString().c_str());
+      continue;
+    }
+    Status st = SaveLoadedPathHistogram(*loaded, path, g_format);
+    if (!st.ok()) {
+      ++failed;
+      std::fprintf(stderr, "FAILED    %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      continue;
+    }
+    ++converted;
+    std::printf("converted %s -> %s\n", path.c_str(),
+                CatalogFormatName(g_format));
+  }
+  std::printf("convert %s: %zu converted, %zu skipped, %zu failed\n",
+              dir.c_str(), converted, skipped, failed);
+  return failed > 0 ? 1 : 0;
+}
+
 int CmdCatalog(const std::vector<std::string>& args) {
   // `catalog verify [--json] <dir>`: --json may come before or after the
   // directory; the exit-code contract (nonzero iff any entry is corrupt or
@@ -341,6 +403,9 @@ int CmdCatalog(const std::vector<std::string>& args) {
     } else {
       rest.push_back(arg);
     }
+  }
+  if (rest.size() == 2 && rest[0] == "convert") {
+    return CmdCatalogConvert(rest[1]);
   }
   if (rest.size() != 2 || rest[0] != "verify") return Usage();
   auto report = VerifyCatalogDir(rest[1]);
@@ -389,8 +454,16 @@ int CmdCatalog(const std::vector<std::string>& args) {
     std::printf("%s\n", out.c_str());
     return failed ? 1 : 0;
   }
-  for (const std::string& name : report->loaded) {
-    std::printf("ok        %s\n", name.c_str());
+  for (size_t i = 0; i < report->loaded.size(); ++i) {
+    const std::string& name = report->loaded[i];
+    // entries[] is parallel to loaded[] when the format sniff succeeded.
+    if (i < report->entries.size() && report->entries[i].name == name) {
+      const CatalogEntryInfo& e = report->entries[i];
+      std::printf("ok        %s format=%s aligned=%s\n", name.c_str(),
+                  e.format.c_str(), e.aligned ? "yes" : "no");
+    } else {
+      std::printf("ok        %s\n", name.c_str());
+    }
   }
   for (const CatalogLoadFailure& f : report->failures) {
     std::string where = f.path;
@@ -462,11 +535,13 @@ int CmdServe(const std::vector<std::string>& args) {
       options.maint_k = *value;
     } else if (key == "compact_every") {
       options.compact_every_records = *value;
+    } else if (key == "mmap_budget") {
+      options.mmap_cache_bytes = *value;
     } else {
       return Fail(Status::InvalidArgument(
           "unknown serve option '" + key +
           "' (workers, queue, deadline_ms, idle_ms, graph, maint_k, "
-          "compact_every)"));
+          "compact_every, mmap_budget)"));
     }
   }
 
@@ -686,6 +761,7 @@ int main(int argc, char** argv) {
     auto format = ParseCatalogFormat(format_name);
     if (!format.ok()) return Fail(format.status());
     g_format = *format;
+    g_format_seen = true;
   }
   if (rest.empty()) return SelfDemo();
   std::string cmd = rest[0];
@@ -720,10 +796,11 @@ int main(int argc, char** argv) {
                  "graph ingest and the selectivity build)\n",
                  cmd.c_str());
   }
-  if (format_seen && cmd != "analyze") {
+  if (format_seen && cmd != "analyze" && cmd != "catalog") {
     std::fprintf(stderr,
                  "note: --format has no effect on '%s' (it picks the "
-                 "catalog format analyze writes; readers sniff)\n",
+                 "catalog format analyze writes and catalog convert's "
+                 "target; readers sniff)\n",
                  cmd.c_str());
   }
   if (cmd == "generate") return CmdGenerate(args);

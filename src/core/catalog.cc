@@ -66,7 +66,16 @@ Result<CatalogLoadReport> VerifyCatalogDir(const std::string& dir) {
   for (const std::string& path : *entries) {
     auto loaded = LoadPathHistogram(path);
     if (loaded.ok()) {
-      report.loaded.push_back(std::filesystem::path(path).stem().string());
+      const std::string name = std::filesystem::path(path).stem().string();
+      report.loaded.push_back(name);
+      auto format = SniffCatalogFormat(path);
+      if (format.ok()) {
+        // A v2 entry that loaded IS page-aligned: the v2 parser rejects
+        // any section offset off a page boundary at every verify tier.
+        report.entries.push_back(CatalogEntryInfo{
+            name, CatalogFormatName(*format),
+            *format == CatalogFormat::kBinaryV2});
+      }
     } else {
       RecordFailure(&report, path, loaded.status());
     }
@@ -118,6 +127,16 @@ std::string CatalogLoadReportToJson(const CatalogLoadReport& report,
   for (size_t i = 0; i < report.loaded.size(); ++i) {
     if (i > 0) out += ',';
     out += '"' + JsonEscape(report.loaded[i]) + '"';
+  }
+  out += "],\"entries\":[";
+  for (size_t i = 0; i < report.entries.size(); ++i) {
+    const CatalogEntryInfo& e = report.entries[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + JsonEscape(e.name) + "\"";
+    out += ",\"format\":\"" + JsonEscape(e.format) + "\"";
+    out += ",\"aligned\":";
+    out += e.aligned ? "true" : "false";
+    out += "}";
   }
   out += "],\"failures\":[";
   for (size_t i = 0; i < report.failures.size(); ++i) {

@@ -37,12 +37,25 @@ struct CatalogLoadFailure {
 /// ..." — the binary loader's self-localizing prefix) when present.
 CatalogLoadFailure MakeCatalogLoadFailure(std::string path, Status status);
 
+/// \brief Per-entry detail for a verified catalog entry: its on-disk
+/// format and, for binary v2, whether the page-alignment invariants held
+/// (always true for a v2 entry that verified — the loader checks every
+/// section offset at every tier; false for formats without the invariant).
+struct CatalogEntryInfo {
+  std::string name;
+  std::string format;  // "text" | "binary" | "binary-v2"
+  bool aligned = false;
+};
+
 /// \brief Outcome of a degraded-mode catalog load: which entries serve and
 /// which were quarantined (and why). A catalog with failures still serves
 /// every healthy entry — one corrupt file must not take down the rest.
 struct CatalogLoadReport {
   std::vector<std::string> loaded;  // estimator names now registered
   std::vector<CatalogLoadFailure> failures;
+  /// Format detail per healthy entry, parallel to `loaded` (filled by
+  /// VerifyCatalogDir; load paths that do not sniff leave it empty).
+  std::vector<CatalogEntryInfo> entries;
 
   bool fully_healthy() const { return failures.empty(); }
 };
@@ -65,6 +78,7 @@ Result<std::vector<std::string>> ListCatalogEntryPaths(const std::string& dir);
 /// tooling. Shape:
 ///   {"dir":..., "ok":N, "corrupt":M, "fully_healthy":bool,
 ///    "loaded":[name...],
+///    "entries":[{"name":...,"format":...,"aligned":bool}...],
 ///    "failures":[{"path":...,"section":...,"code":...,"error":...}...]}
 std::string CatalogLoadReportToJson(const CatalogLoadReport& report,
                                     const std::string& dir);

@@ -30,6 +30,15 @@ Estimator::Estimator(const Ordering& ordering, const Histogram& histogram)
                 "histogram domain size does not match ordering domain");
 }
 
+Estimator::Estimator(const Ordering& ordering, FlatHistogram flat)
+    : source_(nullptr),
+      ordering_(&ordering),
+      kind_(ordering.kind()),
+      flat_(std::move(flat)) {
+  PATHEST_CHECK(flat_.domain_size() == ordering.size(),
+                "flat histogram domain size does not match ordering domain");
+}
+
 void Estimator::EstimateBatch(std::span<const LabelPath> paths,
                               std::span<double> out) const {
   PATHEST_CHECK(paths.size() == out.size(),

@@ -57,6 +57,13 @@ class Estimator {
   /// ordering's |L_k|. source() is unavailable on this form.
   Estimator(const Ordering& ordering, const Histogram& histogram);
 
+  /// \brief Serves a pre-projected flat index — the mmap zero-copy path,
+  /// where `flat` is a FlatHistogram::FromBorrowedRows over a mapped binary
+  /// catalog v2 (core/mapped_catalog.h). The ordering is borrowed and must
+  /// outlive this object, as must the flat index's backing memory when it
+  /// is a borrowed form. source() is unavailable on this form.
+  Estimator(const Ordering& ordering, FlatHistogram flat);
+
   /// \brief index(ℓ) through the type-tagged fast path. Allocation-free
   /// once `scratch` is warmed (see the scratch contract in
   /// ordering/ordering.h); bit-identical to source().ordering().Rank(path).
@@ -108,6 +115,10 @@ class Estimator {
   /// \brief Serving-resident footprint in bytes: the flat bucket index (the
   /// diagnostic Histogram's footprint is source().histogram().ApproxBytes()).
   size_t ResidentBytes() const { return flat_.ResidentBytes(); }
+
+  /// \brief Bytes the flat index views in a mapped file (0 when its rows
+  /// are owned) — the complement of ResidentBytes on the mmap path.
+  size_t MappedBytes() const { return flat_.MappedBytes(); }
 
   /// \brief The backing PathHistogram; only valid for estimators built from
   /// one.

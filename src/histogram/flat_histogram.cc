@@ -1,5 +1,7 @@
 #include "histogram/flat_histogram.h"
 
+#include <utility>
+
 namespace pathest {
 
 namespace {
@@ -19,27 +21,128 @@ void BuildEytzinger(const std::vector<uint64_t>& sorted, size_t slot,
 
 }  // namespace
 
+void FlatHistogram::PointAtOwned() {
+  begin_ = begin_store_;
+  mean_ = mean_store_;
+  prefix_sum_ = prefix_store_;
+  eytz_begin_ = eytz_begin_store_;
+  eytz_rank_ = eytz_rank_store_;
+}
+
 FlatHistogram::FlatHistogram(const Histogram& source) {
   const std::vector<Bucket>& buckets = source.buckets();
   PATHEST_CHECK(!buckets.empty(), "FlatHistogram needs at least one bucket");
   domain_size_ = source.domain_size();
 
   const size_t n = buckets.size();
-  begin_.resize(n);
-  mean_.resize(n);
-  prefix_sum_.resize(n + 1);
-  prefix_sum_[0] = 0.0;
+  begin_store_.resize(n);
+  mean_store_.resize(n);
+  prefix_store_.resize(n + 1);
+  prefix_store_[0] = 0.0;
   for (size_t b = 0; b < n; ++b) {
-    begin_[b] = buckets[b].begin;
-    mean_[b] = buckets[b].Mean();
-    prefix_sum_[b + 1] = prefix_sum_[b] + buckets[b].sum;
+    begin_store_[b] = buckets[b].begin;
+    mean_store_[b] = buckets[b].Mean();
+    prefix_store_[b + 1] = prefix_store_[b] + buckets[b].sum;
   }
 
-  eytz_begin_.assign(n + 1, 0);
-  eytz_rank_.assign(n + 1, 0);
+  eytz_begin_store_.assign(n + 1, 0);
+  eytz_rank_store_.assign(n + 1, 0);
   size_t cursor = 0;
-  BuildEytzinger(begin_, 1, &cursor, &eytz_begin_, &eytz_rank_);
+  BuildEytzinger(begin_store_, 1, &cursor, &eytz_begin_store_,
+                 &eytz_rank_store_);
   PATHEST_CHECK(cursor == n, "Eytzinger construction did not consume begins");
+  PointAtOwned();
+}
+
+FlatHistogram FlatHistogram::FromBorrowedRows(const Rows& rows) {
+  const size_t n = rows.begin.size();
+  PATHEST_CHECK(n >= 1, "FlatHistogram needs at least one bucket");
+  PATHEST_CHECK(rows.mean.size() == n && rows.prefix_sum.size() == n + 1 &&
+                    rows.eytz_begin.size() == n + 1 &&
+                    rows.eytz_rank.size() == n + 1,
+                "borrowed row shapes inconsistent");
+  PATHEST_CHECK(rows.begin[0] == 0, "borrowed begins must start at 0");
+  PATHEST_CHECK(rows.domain_size > 0, "borrowed domain must be non-empty");
+  FlatHistogram flat;
+  flat.domain_size_ = rows.domain_size;
+  flat.owned_ = false;
+  flat.begin_ = rows.begin;
+  flat.mean_ = rows.mean;
+  flat.prefix_sum_ = rows.prefix_sum;
+  flat.eytz_begin_ = rows.eytz_begin;
+  flat.eytz_rank_ = rows.eytz_rank;
+  return flat;
+}
+
+FlatHistogram::FlatHistogram(const FlatHistogram& other)
+    : domain_size_(other.domain_size_),
+      owned_(other.owned_),
+      begin_store_(other.begin_store_),
+      mean_store_(other.mean_store_),
+      prefix_store_(other.prefix_store_),
+      eytz_begin_store_(other.eytz_begin_store_),
+      eytz_rank_store_(other.eytz_rank_store_) {
+  if (owned_) {
+    PointAtOwned();
+  } else {
+    begin_ = other.begin_;
+    mean_ = other.mean_;
+    prefix_sum_ = other.prefix_sum_;
+    eytz_begin_ = other.eytz_begin_;
+    eytz_rank_ = other.eytz_rank_;
+  }
+}
+
+FlatHistogram& FlatHistogram::operator=(const FlatHistogram& other) {
+  if (this == &other) return *this;
+  *this = FlatHistogram(other);  // copy-construct, then move-assign
+  return *this;
+}
+
+FlatHistogram::FlatHistogram(FlatHistogram&& other) noexcept
+    : domain_size_(other.domain_size_),
+      owned_(other.owned_),
+      begin_store_(std::move(other.begin_store_)),
+      mean_store_(std::move(other.mean_store_)),
+      prefix_store_(std::move(other.prefix_store_)),
+      eytz_begin_store_(std::move(other.eytz_begin_store_)),
+      eytz_rank_store_(std::move(other.eytz_rank_store_)),
+      // Moving a vector keeps its heap allocation, so spans into it stay
+      // valid whether they view the stores or a caller's rows.
+      begin_(other.begin_),
+      mean_(other.mean_),
+      prefix_sum_(other.prefix_sum_),
+      eytz_begin_(other.eytz_begin_),
+      eytz_rank_(other.eytz_rank_) {
+  other.domain_size_ = 0;
+  other.begin_ = {};
+  other.mean_ = {};
+  other.prefix_sum_ = {};
+  other.eytz_begin_ = {};
+  other.eytz_rank_ = {};
+}
+
+FlatHistogram& FlatHistogram::operator=(FlatHistogram&& other) noexcept {
+  if (this == &other) return *this;
+  domain_size_ = other.domain_size_;
+  owned_ = other.owned_;
+  begin_store_ = std::move(other.begin_store_);
+  mean_store_ = std::move(other.mean_store_);
+  prefix_store_ = std::move(other.prefix_store_);
+  eytz_begin_store_ = std::move(other.eytz_begin_store_);
+  eytz_rank_store_ = std::move(other.eytz_rank_store_);
+  begin_ = other.begin_;
+  mean_ = other.mean_;
+  prefix_sum_ = other.prefix_sum_;
+  eytz_begin_ = other.eytz_begin_;
+  eytz_rank_ = other.eytz_rank_;
+  other.domain_size_ = 0;
+  other.begin_ = {};
+  other.mean_ = {};
+  other.prefix_sum_ = {};
+  other.eytz_begin_ = {};
+  other.eytz_rank_ = {};
+  return *this;
 }
 
 double FlatHistogram::EstimateRange(uint64_t begin, uint64_t end) const {
@@ -60,6 +163,15 @@ double FlatHistogram::EstimateRange(uint64_t begin, uint64_t end) const {
 }
 
 size_t FlatHistogram::ResidentBytes() const {
+  return begin_store_.size() * sizeof(uint64_t) +
+         mean_store_.size() * sizeof(double) +
+         prefix_store_.size() * sizeof(double) +
+         eytz_begin_store_.size() * sizeof(uint64_t) +
+         eytz_rank_store_.size() * sizeof(uint32_t);
+}
+
+size_t FlatHistogram::MappedBytes() const {
+  if (owned_) return 0;
   return begin_.size() * sizeof(uint64_t) + mean_.size() * sizeof(double) +
          prefix_sum_.size() * sizeof(double) +
          eytz_begin_.size() * sizeof(uint64_t) +

@@ -7,19 +7,28 @@
 // dead doubles through the cache per probed element. FlatHistogram is the
 // structure-of-arrays projection built once from a Histogram:
 //
-//   begin_[b]       bucket begins, ascending; begin_[0] == 0
-//   mean_[b]        bucket mean frequency (sum / width, divided once here,
-//                   so point estimates are bit-identical to
-//                   Histogram::Estimate which performs the same division)
-//   prefix_sum_[b]  running sum of bucket frequency-sums over buckets < b
-//                   (β + 1 entries), giving O(1) interior mass for ranges
+//   begins()[b]      bucket begins, ascending; begins()[0] == 0
+//   means()[b]       bucket mean frequency (sum / width, divided once here,
+//                    so point estimates are bit-identical to
+//                    Histogram::Estimate which performs the same division)
+//   prefix_sums()[b] running sum of bucket frequency-sums over buckets < b
+//                    (β + 1 entries), giving O(1) interior mass for ranges
 //
-// plus an Eytzinger-ordered copy of the boundaries (eytz_begin_) with a
-// slot → sorted-rank map (eytz_rank_). Point lookup descends the implicit
+// plus an Eytzinger-ordered copy of the boundaries (eytz_begins()) with a
+// slot → sorted-rank map (eytz_ranks()). Point lookup descends the implicit
 // tree with a conditional-move candidate update — no unpredictable branch,
 // and ancestors of every leaf share cache lines at the top of the array,
 // unlike the pointer-jumping middle probes of a std::upper_bound over a
 // 32-byte-stride Bucket vector.
+//
+// Storage comes in two forms behind the same query interface:
+//   - OWNED (the Histogram constructor): the five rows live in member
+//     vectors, as always.
+//   - BORROWED (FromBorrowedRows): the spans point into caller-owned
+//     memory — in practice the 64-byte-aligned rows of a mapped binary
+//     catalog v2 (core/serialize.h), making construction pure pointer
+//     fixup with zero row copies. The backing memory must outlive the
+//     FlatHistogram; core/mapped_catalog.h ties the two lifetimes.
 //
 // A FlatHistogram is immutable after construction and safe to share across
 // any number of concurrent readers.
@@ -28,6 +37,7 @@
 #define PATHEST_HISTOGRAM_FLAT_HISTOGRAM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "histogram/histogram.h"
@@ -44,8 +54,37 @@ class FlatHistogram {
   /// the full diagnostic buckets; the two are independent afterwards).
   explicit FlatHistogram(const Histogram& source);
 
+  /// \brief Caller-owned serving rows for borrowed construction — exactly
+  /// the arrays a binary catalog v2 histogram section persists.
+  struct Rows {
+    uint64_t domain_size = 0;
+    std::span<const uint64_t> begin;          // β entries, begin[0] == 0
+    std::span<const double> mean;             // β entries
+    std::span<const double> prefix_sum;       // β + 1 entries
+    std::span<const uint64_t> eytz_begin;     // β + 1 entries, slot 0 unused
+    std::span<const uint32_t> eytz_rank;      // β + 1 entries, slot 0 unused
+  };
+
+  /// \brief Zero-copy form over caller-owned rows (an mmap'ed catalog
+  /// section): O(1) work, no allocation, no row validation beyond shape
+  /// checks — callers on untrusted bytes must have verified the rows first
+  /// (core/mapped_catalog.h's tiered verification). The backing memory must
+  /// outlive the returned object and every copy made of it.
+  static FlatHistogram FromBorrowedRows(const Rows& rows);
+
+  // A copy must re-point the spans at ITS vectors when storage is owned
+  // (the defaults would alias the source's heap); moves keep the heap
+  // allocations, so the spans stay valid and the defaults are correct.
+  FlatHistogram(const FlatHistogram& other);
+  FlatHistogram& operator=(const FlatHistogram& other);
+  FlatHistogram(FlatHistogram&& other) noexcept;
+  FlatHistogram& operator=(FlatHistogram&& other) noexcept;
+
   size_t num_buckets() const { return begin_.size(); }
   uint64_t domain_size() const { return domain_size_; }
+  /// \brief True when the rows live in member vectors (false: borrowed
+  /// views into caller memory, e.g. a mapped catalog).
+  bool owns_storage() const { return owned_; }
 
   /// \brief Bucket-mean estimate at `index` (< domain_size()). Bit-identical
   /// to Histogram::Estimate on the source histogram.
@@ -77,20 +116,43 @@ class FlatHistogram {
     return eytz_rank_[best];
   }
 
-  /// \brief Bytes resident for serving: the three SoA rows plus the
-  /// Eytzinger index (the "estimator footprint" reported next to
-  /// Histogram::ApproxBytes' diagnostic footprint).
+  /// \brief Heap bytes OWNED by this object: the five rows when storage is
+  /// owned, zero when borrowed (the bytes then belong to the mapping —
+  /// see MappedBytes).
   size_t ResidentBytes() const;
 
+  /// \brief Bytes served through borrowed views (a mapped catalog's pages);
+  /// zero for owned storage.
+  size_t MappedBytes() const;
+
+  // Row views — the writer (core/serialize.cc) persists these verbatim and
+  // the full-verify path compares a rebuild against them bit-for-bit.
+  std::span<const uint64_t> begins() const { return begin_; }
+  std::span<const double> means() const { return mean_; }
+  std::span<const double> prefix_sums() const { return prefix_sum_; }
+  std::span<const uint64_t> eytz_begins() const { return eytz_begin_; }
+  std::span<const uint32_t> eytz_ranks() const { return eytz_rank_; }
+
  private:
+  // Points the span members at the owned vectors (after any vector change).
+  void PointAtOwned();
+
   uint64_t domain_size_ = 0;
-  std::vector<uint64_t> begin_;
-  std::vector<double> mean_;
-  std::vector<double> prefix_sum_;
+  bool owned_ = true;
+  std::vector<uint64_t> begin_store_;
+  std::vector<double> mean_store_;
+  std::vector<double> prefix_store_;
+  std::vector<uint64_t> eytz_begin_store_;
+  std::vector<uint32_t> eytz_rank_store_;
+  // The query path reads ONLY these spans; for owned storage they view the
+  // vectors above, for borrowed storage the caller's rows.
+  std::span<const uint64_t> begin_;
+  std::span<const double> mean_;
+  std::span<const double> prefix_sum_;
   // 1-based implicit-tree layout of begin_; slot 0 unused.
-  std::vector<uint64_t> eytz_begin_;
+  std::span<const uint64_t> eytz_begin_;
   // Slot -> sorted bucket position.
-  std::vector<uint32_t> eytz_rank_;
+  std::span<const uint32_t> eytz_rank_;
 };
 
 }  // namespace pathest

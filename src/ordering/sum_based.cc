@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <tuple>
+#include <utility>
 
 #include "util/status.h"
 
@@ -130,6 +132,86 @@ uint64_t RankPermutationInCombination(const std::vector<uint32_t>& permutation,
                                combination.data(), counts.data(), fact);
 }
 
+void ChooseSumKeyScheme(uint64_t num_labels, uint64_t k,
+                        SumKeyScheme* scheme, uint32_t* key_bits) {
+  // Prefer the order-free counts encoding (no sort on the query path),
+  // fall back to the sorted pack, else no index.
+  uint32_t count_bits = 1;  // bits to hold multiplicities in [0, k]
+  while ((1ULL << count_bits) <= k) ++count_bits;
+  uint32_t value_bits = 1;  // bits to hold ranks in [1, |L|]
+  while ((1ULL << value_bits) <= num_labels) ++value_bits;
+  if (count_bits * num_labels <= 64) {
+    *scheme = SumKeyScheme::kCounts;
+    *key_bits = count_bits;
+  } else if (value_bits * k <= 64) {
+    *scheme = SumKeyScheme::kSorted;
+    *key_bits = value_bits;
+  } else {
+    *scheme = SumKeyScheme::kNone;
+    *key_bits = 0;
+  }
+}
+
+uint64_t SumStage3CellCount(uint64_t num_labels, uint64_t k) {
+  uint64_t cells = 0;
+  for (uint64_t m = 1; m <= k; ++m) cells += m * num_labels - m + 1;
+  return cells;
+}
+
+SumStage3Index BuildSumStage3Index(uint64_t num_labels, uint64_t k) {
+  SumStage3Index index;
+  ChooseSumKeyScheme(num_labels, k, &index.scheme, &index.key_bits);
+  if (index.scheme == SumKeyScheme::kNone) return index;
+
+  index.cell_starts.reserve(SumStage3CellCount(num_labels, k) + 1);
+  index.cell_starts.push_back(0);
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> entries;
+  for (uint64_t m = 1; m <= k; ++m) {
+    for (uint64_t sr = m; sr <= m * num_labels; ++sr) {
+      entries.clear();
+      uint64_t offset = 0;
+      for (const Partition& p : EnumeratePartitions(sr, m, num_labels)) {
+        const uint64_t nop = MultisetPermutationCount(p);
+        entries.push_back({SumEncodeKey(index.scheme, index.key_bits,
+                                        p.data(), m),
+                           offset, nop});
+        offset += nop;
+      }
+      std::sort(entries.begin(), entries.end());
+      for (const auto& [key, block_offset, nop] : entries) {
+        index.keys.push_back(key);
+        index.offsets.push_back(block_offset);
+        index.nops.push_back(nop);
+      }
+      index.cell_starts.push_back(index.keys.size());
+    }
+  }
+  return index;
+}
+
+void SumBasedOrdering::InitIndexViews(const SumStage3View& view) {
+  key_scheme_ = view.scheme;
+  key_bits_ = view.key_bits;
+  cell_starts_ = view.cell_starts;
+  keys_ = view.keys;
+  offsets_ = view.offsets;
+  nops_ = view.nops;
+  cell_base_.resize(space_.k());
+  uint64_t base = 0;
+  for (uint64_t m = 1; m <= space_.k(); ++m) {
+    cell_base_[m - 1] = base;
+    base += m * space_.num_labels() - m + 1;
+  }
+  if (key_scheme_ != SumKeyScheme::kNone) {
+    PATHEST_CHECK(cell_starts_.size() == base + 1,
+                  "stage-three cell directory shape mismatch");
+    PATHEST_CHECK(keys_.size() == cell_starts_.back() &&
+                      offsets_.size() == keys_.size() &&
+                      nops_.size() == keys_.size(),
+                  "stage-three block array shape mismatch");
+  }
+}
+
 SumBasedOrdering::SumBasedOrdering(PathSpace space, LabelRanking ranking)
     : space_(space),
       ranking_(std::move(ranking)),
@@ -143,68 +225,63 @@ SumBasedOrdering::SumBasedOrdering(PathSpace space, LabelRanking ranking)
               ? "sum-based"
               : std::string("sum-") + RankingRuleName(ranking_.rule());
 
-  const uint64_t num_labels = space_.num_labels();
-  blocks_.resize(space_.k());
-  for (size_t m = 1; m <= space_.k(); ++m) {
-    auto& row = blocks_[m - 1];
-    row.resize(m * num_labels - m + 1);
-    for (uint64_t sr = m; sr <= m * num_labels; ++sr) {
-      auto& blocks = row[sr - m];
-      uint64_t offset = 0;
-      for (Partition& p : EnumeratePartitions(sr, m, num_labels)) {
-        uint64_t nop = MultisetPermutationCount(p);
-        blocks.push_back(ComboBlock{std::move(p), nop, offset});
-        offset += nop;
-      }
-    }
-  }
-
-  // Stage-three key scheme: prefer the order-free counts encoding (no sort
-  // on the query path), fall back to the sorted pack, else no index.
-  size_t count_bits = 1;  // bits to hold multiplicities in [0, k]
-  while ((1ULL << count_bits) <= space_.k()) ++count_bits;
-  size_t value_bits = 1;  // bits to hold ranks in [1, |L|]
-  while ((1ULL << value_bits) <= num_labels) ++value_bits;
-  if (count_bits * num_labels <= 64) {
-    key_scheme_ = KeyScheme::kCounts;
-    key_bits_ = count_bits;
-  } else if (value_bits * space_.k() <= 64) {
-    key_scheme_ = KeyScheme::kSorted;
-    key_bits_ = value_bits;
-  }
-  if (key_scheme_ != KeyScheme::kNone) {
-    combo_index_.resize(space_.k());
-    for (size_t m = 1; m <= space_.k(); ++m) {
-      auto& row = combo_index_[m - 1];
-      row.resize(blocks_[m - 1].size());
-      for (size_t cell = 0; cell < row.size(); ++cell) {
-        const auto& blocks = blocks_[m - 1][cell];
-        std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> entries;
-        entries.reserve(blocks.size());
-        for (const ComboBlock& block : blocks) {
-          entries.push_back(
-              {MakeKey(block.parts.data(), m), block.offset, block.nop});
-        }
-        std::sort(entries.begin(), entries.end());
-        row[cell].keys.reserve(entries.size());
-        row[cell].offsets.reserve(entries.size());
-        row[cell].nops.reserve(entries.size());
-        for (const auto& [key, block_offset, nop] : entries) {
-          row[cell].keys.push_back(key);
-          row[cell].offsets.push_back(block_offset);
-          row[cell].nops.push_back(nop);
-        }
-      }
-    }
-  }
+  owned_index_ = BuildSumStage3Index(space_.num_labels(), space_.k());
+  InitIndexViews(SumStage3View{owned_index_.scheme, owned_index_.key_bits,
+                               owned_index_.cell_starts, owned_index_.keys,
+                               owned_index_.offsets, owned_index_.nops});
 }
 
+SumBasedOrdering::SumBasedOrdering(PathSpace space, LabelRanking ranking,
+                                   CompositionTable comps,
+                                   const SumStage3View& index)
+    : space_(space),
+      ranking_(std::move(ranking)),
+      comps_(std::move(comps)),
+      fact_(space.k()) {
+  PATHEST_CHECK(space_.num_labels() == ranking_.size(),
+                "ranking size mismatch with path space");
+  PATHEST_CHECK(comps_.num_labels() == space_.num_labels() &&
+                    comps_.max_len() == space_.k(),
+                "composition table shape mismatch with path space");
+  SumKeyScheme expected_scheme;
+  uint32_t expected_bits;
+  ChooseSumKeyScheme(space_.num_labels(), space_.k(), &expected_scheme,
+                     &expected_bits);
+  PATHEST_CHECK(index.scheme == expected_scheme &&
+                    index.key_bits == expected_bits,
+                "stage-three key scheme mismatch for this space");
+  name_ = ranking_.rule() == RankingRule::kCardinality
+              ? "sum-based"
+              : std::string("sum-") + RankingRuleName(ranking_.rule());
+  InitIndexViews(index);
+}
+
+void SumBasedOrdering::EnsureBlocks() const {
+  std::call_once(blocks_once_, [this] {
+    const uint64_t num_labels = space_.num_labels();
+    blocks_.resize(space_.k());
+    for (size_t m = 1; m <= space_.k(); ++m) {
+      auto& row = blocks_[m - 1];
+      row.resize(m * num_labels - m + 1);
+      for (uint64_t sr = m; sr <= m * num_labels; ++sr) {
+        auto& blocks = row[sr - m];
+        uint64_t offset = 0;
+        for (Partition& p : EnumeratePartitions(sr, m, num_labels)) {
+          uint64_t nop = MultisetPermutationCount(p);
+          blocks.push_back(ComboBlock{std::move(p), nop, offset});
+          offset += nop;
+        }
+      }
+    }
+  });
+}
 
 const std::vector<SumBasedOrdering::ComboBlock>& SumBasedOrdering::BlocksFor(
     size_t m, uint64_t sr) const {
   PATHEST_CHECK(m >= 1 && m <= space_.k(), "length out of range");
   PATHEST_CHECK(sr >= m && sr <= m * space_.num_labels(),
                 "summed rank out of range");
+  EnsureBlocks();
   return blocks_[m - 1][sr - m];
 }
 
@@ -305,8 +382,9 @@ uint64_t SumBasedOrdering::Rank(const LabelPath& path,
   // Stage 3 key: order-free addition under kCounts; sorted pack (one
   // insertion sort) under kSorted; block scan fallback under kNone.
   uint64_t key = 0;
-  if (key_scheme_ == KeyScheme::kCounts) {
-    key = MakeKey(ranks, m);
+  if (key_scheme_ == SumKeyScheme::kCounts) {
+    key = SumEncodeKey(key_scheme_, static_cast<uint32_t>(key_bits_), ranks,
+                       m);
   } else {
     uint32_t* combo = scratch.combo;
     for (size_t i = 0; i < m; ++i) combo[i] = ranks[i];
@@ -320,7 +398,7 @@ uint64_t SumBasedOrdering::Rank(const LabelPath& path,
       }
       combo[j] = v;
     }
-    if (key_scheme_ == KeyScheme::kNone) {
+    if (key_scheme_ == SumKeyScheme::kNone) {
       // Generality fallback (combinations too wide for any key): legacy
       // block scan plus the allocation-free counts core.
       scratch.Reserve(space_.num_labels());
@@ -329,14 +407,18 @@ uint64_t SumBasedOrdering::Rank(const LabelPath& path,
           RankPermutationCounts(ranks, m, combo, scratch.counts.data(), fact_);
       return index;
     }
-    key = MakeKey(combo, m);
+    key = SumEncodeKey(key_scheme_, static_cast<uint32_t>(key_bits_), combo,
+                       m);
   }
 
   // One branchless binary search (first key >= ours) over the cell's packed
-  // keys, which also hands us the block's permutation count (w).
-  const ComboIndex& cell = combo_index_[m - 1][sr - m];
-  const uint64_t* keys = cell.keys.data();
-  size_t len = cell.keys.size();
+  // keys, which also hands us the block's permutation count (w). The cell's
+  // blocks live at [cell_starts_[c], cell_starts_[c+1]) in the flat arrays,
+  // with c derived from (m, sr) — the same arrays catalog v2 persists.
+  const uint64_t cell = cell_base_[m - 1] + (sr - m);
+  const uint64_t cell_begin = cell_starts_[cell];
+  const uint64_t* keys = keys_.data() + cell_begin;
+  size_t len = static_cast<size_t>(cell_starts_[cell + 1] - cell_begin);
   size_t lo = 0;
   while (len > 1) {
     const size_t half = len / 2;
@@ -344,7 +426,7 @@ uint64_t SumBasedOrdering::Rank(const LabelPath& path,
     len -= half;
   }
   PATHEST_CHECK(keys[lo] == key, "rank multiset missing from stage-three index");
-  index += cell.offsets[lo];
+  index += offsets_[cell_begin + lo];
 
   // Permutation position within the block (inverse of Algorithm 1),
   // branchless: with w the permutation count of the REMAINING multiset,
@@ -354,7 +436,7 @@ uint64_t SumBasedOrdering::Rank(const LabelPath& path,
   // exactly the rank suffix ranks[pos..m), below/eq are plain compare-sums
   // over that suffix. No counts buffer, no data-dependent branches, no
   // divider unit (DivSmall).
-  uint64_t w = cell.nops[lo];
+  uint64_t w = nops_[cell_begin + lo];
   for (size_t pos = 0; pos < m; ++pos) {
     const uint32_t head = ranks[pos];
     const size_t n_rem = m - pos;

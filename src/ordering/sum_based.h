@@ -15,10 +15,21 @@
 // Rank() is the forward bijection (the inverse of the paper's Algorithm 2);
 // Unrank() is Algorithm 2 itself, delegating to Algorithm 1 for the
 // in-partition permutation.
+//
+// The query fast path runs entirely over FLAT stage-2/stage-3 tables
+// (CompositionTable prefix rows + the SumStage3Index below). Both tables
+// are pure functions of (|L|, k), built once here — or, on the mmap
+// serving path, BORROWED straight out of a binary catalog v2 file
+// (core/mapped_catalog.h), which is what makes zero-copy Estimator
+// construction possible: the index is persisted in exactly the layout the
+// search consumes. The legacy partition-block cache (Unrank's enumeration
+// and the kNone fallback) is built lazily on first use in either form.
 
 #ifndef PATHEST_ORDERING_SUM_BASED_H_
 #define PATHEST_ORDERING_SUM_BASED_H_
 
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,12 +91,99 @@ std::vector<uint32_t> UnrankPermutationOfCombination(
 uint64_t RankPermutationInCombination(const std::vector<uint32_t>& permutation,
                                       std::vector<uint32_t> combination);
 
+/// \brief Key encoding of the stage-three index. The numeric values are the
+/// on-disk encoding of binary catalog v2's sum-index section — do not
+/// renumber.
+enum class SumKeyScheme : uint32_t {
+  /// Combinations too wide for any 64-bit key; no index (block-scan
+  /// fallback). Rare: needs |L| and k both large.
+  kNone = 0,
+  /// The multiplicity vector as a packed number: value v occupies key_bits
+  /// bits at position (v - 1) * key_bits, and a query key is built by
+  /// ADDING 1 << shift per path rank — order-free, so the fast path needs
+  /// no sort at all. Feasible when |L| * ceil(log2(k + 1)) <= 64.
+  kCounts = 1,
+  /// The sorted combination packed value-by-value. Feasible when
+  /// k * ceil(log2(|L| + 1)) <= 64; costs an insertion sort per query.
+  kSorted = 2,
+};
+
+/// \brief The scheme (and per-field bit width) a (|L|, k) space uses —
+/// a pure function of the shape, shared by the ordering, the catalog v2
+/// writer, and the mapped reader's shape validation.
+void ChooseSumKeyScheme(uint64_t num_labels, uint64_t k,
+                        SumKeyScheme* scheme, uint32_t* key_bits);
+
+/// \brief Encodes a rank multiset (any order under kCounts; sorted
+/// ascending under kSorted) of size m into its lookup key.
+inline uint64_t SumEncodeKey(SumKeyScheme scheme, uint32_t key_bits,
+                             const uint32_t* values, size_t m) {
+  uint64_t key = 0;
+  if (scheme == SumKeyScheme::kCounts) {
+    for (size_t i = 0; i < m; ++i) {
+      key += 1ULL << (static_cast<size_t>(values[i] - 1) * key_bits);
+    }
+  } else {
+    for (size_t i = 0; i < m; ++i) {
+      key |= static_cast<uint64_t>(values[i]) << (i * key_bits);
+    }
+  }
+  return key;
+}
+
+/// \brief The flat stage-three index: every (m, sr) cell's partition blocks
+/// as key-sorted parallel arrays, all cells concatenated m-major (cell id =
+/// SumStage3CellBase(m) + (sr - m)). cell_starts has one entry per cell
+/// plus a final total, so cell c's blocks live at
+/// [cell_starts[c], cell_starts[c+1]) in keys/offsets/nops.
+///
+/// This is both the in-memory fast-path structure AND the on-disk layout of
+/// catalog v2's sum-index section; BuildSumStage3Index is its single
+/// definition, used by the ordering, the writer, and the full verifier.
+/// Under kNone every array is empty.
+struct SumStage3Index {
+  SumKeyScheme scheme = SumKeyScheme::kNone;
+  uint32_t key_bits = 0;
+  std::vector<uint64_t> cell_starts;
+  std::vector<uint64_t> keys;     // ascending within each cell
+  std::vector<uint64_t> offsets;  // offsets[i] belongs to keys[i]
+  std::vector<uint64_t> nops;     // permutation count of keys[i]'s multiset
+};
+
+/// \brief Builds the stage-three index for (num_labels, k) by enumerating
+/// every (m, sr) cell's partitions (Formula 4) in block order.
+SumStage3Index BuildSumStage3Index(uint64_t num_labels, uint64_t k);
+
+/// \brief Number of (m, sr) cells: sum over m of (m*|L| - m + 1).
+uint64_t SumStage3CellCount(uint64_t num_labels, uint64_t k);
+
+/// \brief Borrowed view of a SumStage3Index (spans into a mapped catalog).
+struct SumStage3View {
+  SumKeyScheme scheme = SumKeyScheme::kNone;
+  uint32_t key_bits = 0;
+  std::span<const uint64_t> cell_starts;
+  std::span<const uint64_t> keys;
+  std::span<const uint64_t> offsets;
+  std::span<const uint64_t> nops;
+};
+
 /// \brief Sum-based ordering. The paper pairs it with cardinality ranking
 /// (method name "sum-based"); any LabelRanking is accepted, enabling the
 /// sum-alph ablation.
 class SumBasedOrdering : public Ordering {
  public:
   SumBasedOrdering(PathSpace space, LabelRanking ranking);
+
+  /// \brief Borrowed/mmap form: the stage-2 composition table and stage-3
+  /// index come from persisted (typically memory-mapped) rows instead of
+  /// being recomputed — construction is O(k) pointer fixup. `comps` is a
+  /// CompositionTable::Borrowed over the same backing memory as `index`;
+  /// both must match what the owned constructor would build for
+  /// (space.num_labels(), space.k()) — callers on untrusted bytes verify
+  /// first (core/mapped_catalog.h). The backing memory must outlive this
+  /// ordering.
+  SumBasedOrdering(PathSpace space, LabelRanking ranking,
+                   CompositionTable comps, const SumStage3View& index);
 
   const std::string& name() const override { return name_; }
   uint64_t Rank(const LabelPath& path) const override;
@@ -95,7 +193,7 @@ class SumBasedOrdering : public Ordering {
 
   /// \brief The allocation-free fast path (the scratch contract in
   /// ordering/ordering.h): three table lookups (length offset, O(1)
-  /// stage-two prefix, stage-three block scan) plus the counts-based
+  /// stage-two prefix, stage-three binary search) plus the counts-based
   /// Algorithm-1 core, all on caller-owned buffers. The plain Rank() is a
   /// thin wrapper over this with a local scratch.
   uint64_t Rank(const LabelPath& path, RankScratch& scratch) const override;
@@ -104,6 +202,14 @@ class SumBasedOrdering : public Ordering {
   LabelPath Unrank(uint64_t index, RankScratch& scratch) const;
 
   const LabelRanking& ranking() const { return ranking_; }
+  /// \brief The stage-2 table (persisted verbatim by the catalog writer).
+  const CompositionTable& compositions() const { return comps_; }
+  /// \brief The flat stage-3 index as spans (owned or borrowed — the
+  /// catalog v2 writer persists exactly these arrays).
+  SumStage3View stage3_view() const {
+    return SumStage3View{key_scheme_, static_cast<uint32_t>(key_bits_),
+                         cell_starts_, keys_, offsets_, nops_};
+  }
 
  private:
   // One stage-three partition block: a combination (ascending rank multiset),
@@ -115,11 +221,14 @@ class SumBasedOrdering : public Ordering {
     uint64_t offset;
   };
 
-  // Cached stage-three blocks for (m, sr); the enumeration is tiny
+  // Stage-three blocks for (m, sr), materialized LAZILY (call_once) on the
+  // first Unrank / legacy Rank / kNone fallback: the enumeration is tiny
   // (O(k^2 |L|) distinct (m, sr) pairs, a handful of partitions each) but
-  // re-deriving it on every Rank/Unrank dominates query latency, so it is
-  // materialized once at construction.
+  // costs ~1 ms for real spaces — which would swamp the microsecond mmap
+  // construction path if it ran eagerly, and the serving fast path never
+  // touches it.
   const std::vector<ComboBlock>& BlocksFor(size_t m, uint64_t sr) const;
+  void EnsureBlocks() const;
 
   // Stage-three offset of the sorted rank multiset `combo` (size m) within
   // its (m, sr) partition, by linear block scan — shared by the legacy
@@ -127,44 +236,8 @@ class SumBasedOrdering : public Ordering {
   uint64_t StageThreeOffsetByScan(size_t m, uint64_t sr,
                                   const uint32_t* combo) const;
 
-  // Key-sorted stage-three index for the fast path: each (m, sr) cell holds
-  // the blocks' combinations encoded as single uint64 keys next to their
-  // offsets and permutation counts, so the fast Rank resolves its multiset
-  // with one O(log #blocks) branchless binary search over 8-byte keys
-  // instead of std::equal-scanning whole partition vectors. Two encodings,
-  // chosen at construction:
-  //   kCounts — the multiplicity vector as a packed number: value v
-  //     occupies key_bits_ bits at position (v - 1) * key_bits_, and a
-  //     query key is built by ADDING 1 << shift per path rank — order-free,
-  //     so the fast path needs no sort at all. Feasible when
-  //     |L| * ceil(log2(k + 1)) <= 64 (multiplicities are at most k).
-  //   kSorted — the sorted combination packed value-by-value. Feasible when
-  //     k * ceil(log2(|L| + 1)) <= 64; costs an insertion sort per query.
-  //   kNone — neither fits a word; the fast path falls back to the legacy
-  //     block scan (spaces that large already strain blocks_ itself).
-  enum class KeyScheme { kNone, kCounts, kSorted };
-
-  struct ComboIndex {
-    std::vector<uint64_t> keys;     // ascending
-    std::vector<uint64_t> offsets;  // offsets[i] belongs to keys[i]
-    std::vector<uint64_t> nops;     // permutation count of keys[i]'s multiset
-  };
-
-  // Encodes a rank multiset (any order) of size m into its lookup key.
-  uint64_t MakeKey(const uint32_t* values, size_t m) const {
-    uint64_t key = 0;
-    if (key_scheme_ == KeyScheme::kCounts) {
-      for (size_t i = 0; i < m; ++i) {
-        key += 1ULL << (static_cast<size_t>(values[i] - 1) * key_bits_);
-      }
-    } else {
-      // kSorted: `values` must be sorted ascending here.
-      for (size_t i = 0; i < m; ++i) {
-        key |= static_cast<uint64_t>(values[i]) << (i * key_bits_);
-      }
-    }
-    return key;
-  }
+  // Points the span members at owned_index_ / computes cell_base_.
+  void InitIndexViews(const SumStage3View& view);
 
   PathSpace space_;
   LabelRanking ranking_;
@@ -173,12 +246,22 @@ class SumBasedOrdering : public Ordering {
   // Factorials 0!..k! for the counts-based Algorithm-1 core; built
   // (overflow-checked) once at construction.
   FactorialCache fact_;
-  // blocks_[m - 1][sr - m] for sr in [m, m * |L|].
-  std::vector<std::vector<std::vector<ComboBlock>>> blocks_;
-  KeyScheme key_scheme_ = KeyScheme::kNone;
+  SumKeyScheme key_scheme_ = SumKeyScheme::kNone;
   size_t key_bits_ = 0;  // bits per key field under the chosen scheme
-  // combo_index_[m - 1][sr - m], parallel to blocks_.
-  std::vector<std::vector<ComboIndex>> combo_index_;
+  // Backing storage for the owned form; empty when borrowed.
+  SumStage3Index owned_index_;
+  // The fast path reads ONLY these spans (into owned_index_ or the mapping).
+  std::span<const uint64_t> cell_starts_;
+  std::span<const uint64_t> keys_;
+  std::span<const uint64_t> offsets_;
+  std::span<const uint64_t> nops_;
+  // cell_base_[m - 1] = id of cell (m, sr=m); cell id grows with sr.
+  std::vector<uint64_t> cell_base_;
+  // Lazy legacy blocks (see BlocksFor). once_flag makes this class
+  // immovable — it is only ever constructed in place (factory / tests).
+  mutable std::once_flag blocks_once_;
+  // blocks_[m - 1][sr - m] for sr in [m, m * |L|].
+  mutable std::vector<std::vector<std::vector<ComboBlock>>> blocks_;
 };
 
 }  // namespace pathest

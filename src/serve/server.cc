@@ -27,7 +27,10 @@ std::string BoolJson(bool b) { return b ? "true" : "false"; }
 }  // namespace
 
 ServeServer::ServeServer(ServeOptions options)
-    : options_(std::move(options)), pending_(options_.queue_capacity) {}
+    : options_(std::move(options)),
+      mmap_cache_(CatalogCacheOptions{options_.mmap_cache_bytes,
+                                      CatalogVerify::kChecksums}),
+      pending_(options_.queue_capacity) {}
 
 ServeServer::~ServeServer() {
   RequestStop();
@@ -80,7 +83,8 @@ Status ServeServer::Start() {
   // entries are reported and the healthy remainder serves. Only an
   // unreadable directory is fatal — a daemon that can start degraded
   // beats one that refuses to start.
-  auto loaded = LoadCatalogSnapshots(options_.catalog_dir, /*version=*/1);
+  auto loaded =
+      LoadCatalogSnapshots(options_.catalog_dir, /*version=*/1, &mmap_cache_);
   if (!loaded.ok()) return loaded.status();
   initial_report_ = std::move(loaded->report);
   auto state = std::make_shared<RegistryState>();
@@ -414,7 +418,7 @@ std::string ServeServer::HandleReload(const Request& request) {
 std::string ServeServer::ReloadLocked(const std::string& dir) {
   const auto current = registry_.Get();
   const uint64_t next_version = current->version + 1;
-  auto loaded = LoadCatalogSnapshots(dir, next_version);
+  auto loaded = LoadCatalogSnapshots(dir, next_version, &mmap_cache_);
   if (!loaded.ok()) {
     // The directory itself was unreadable: nothing is swapped, every
     // previous snapshot keeps serving, and the failure is recorded.
@@ -606,6 +610,9 @@ std::string ServeServer::StatsJson() const {
         now - snapshot->created());
     out += ",\"age_s\":" + std::to_string(age.count());
     out += ",\"stale\":" + BoolJson(snapshot->version() < state->version);
+    out += ",\"mapped\":" + BoolJson(snapshot->is_mapped());
+    out += ",\"mapped_bytes\":" + std::to_string(snapshot->mapped_bytes());
+    out += ",\"resident_bytes\":" + std::to_string(snapshot->resident_bytes());
     out += "}";
   }
   out += "],\"counters\":{";
@@ -639,6 +646,16 @@ std::string ServeServer::StatsJson() const {
   out += ",\"quarantined_journals\":" +
          std::to_string(
              c.quarantined_journals.load(std::memory_order_relaxed));
+  out += "},\"mmap_cache\":{";
+  {
+    const CatalogCacheStats cache = mmap_cache_.Stats();
+    out += "\"entries\":" + std::to_string(cache.entries);
+    out += ",\"mapped_bytes\":" + std::to_string(cache.mapped_bytes);
+    out += ",\"byte_budget\":" + std::to_string(cache.byte_budget);
+    out += ",\"hits\":" + std::to_string(cache.hits);
+    out += ",\"misses\":" + std::to_string(cache.misses);
+    out += ",\"evictions\":" + std::to_string(cache.evictions);
+  }
   out += "},\"maintenance\":";
   if (maint_ == nullptr) {
     out += "{\"enabled\":false}";

@@ -108,6 +108,12 @@ struct ServeOptions {
   size_t maint_k = 0;
   /// Journal auto-compaction threshold (maint::MaintenanceOptions).
   uint64_t compact_every_records = 4096;
+  /// Byte budget for the mmap snapshot cache (core/catalog_cache.h).
+  /// Binary-v2 catalog entries are served zero-copy through this cache: a
+  /// reload of an unchanged entry re-pins the existing mapping instead of
+  /// re-reading bytes. Pinned (currently-serving) snapshots never count
+  /// against eviction, so the budget bounds only UNPINNED residency.
+  size_t mmap_cache_bytes = 256ull << 20;
 };
 
 /// \brief Monotonic counters exposed by `stats` (all atomics: written by
@@ -192,6 +198,10 @@ class ServeServer {
   SnapshotRegistry registry_;
   ServeCounters counters_;
   CatalogLoadReport initial_report_;
+  // Bounded-residency mmap cache for binary-v2 entries (zero-copy path).
+  // Declared before registry users touch it only through GetOrOpen/Stats,
+  // both internally locked; safe from any thread.
+  CatalogCache mmap_cache_;
 
   UniqueFd listen_fd_;
   std::thread accept_thread_;

@@ -43,10 +43,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/catalog.h"
+#include "core/catalog_cache.h"
 #include "core/estimator.h"
+#include "core/mapped_catalog.h"
 #include "core/serialize.h"
 #include "util/status.h"
 
@@ -70,7 +73,11 @@
 namespace pathest {
 namespace serve {
 
-/// \brief One catalog entry frozen for concurrent serving.
+/// \brief One catalog entry frozen for concurrent serving. Two storage
+/// forms behind the same accessors: COPIED (a deserialized
+/// LoadedPathHistogram owning every row) and MAPPED (a pinned
+/// MappedCatalogEntry serving the rows straight out of an mmap'ed binary
+/// catalog v2 — the pin keeps the mapping alive across cache evictions).
 class ServingSnapshot {
  public:
   /// \param name entry name (the file stem).
@@ -83,8 +90,20 @@ class ServingSnapshot {
       : name_(std::move(name)),
         loaded_(std::move(loaded)),
         version_(version),
-        created_(std::chrono::steady_clock::now()),
-        serving_(loaded_.estimator) {}
+        created_(std::chrono::steady_clock::now()) {
+    serving_.emplace(loaded_->estimator);
+  }
+
+  /// \brief Mapped form: serves through the entry's borrowed estimator;
+  /// the shared_ptr pin is what keeps the mapping resident while ANY
+  /// reader might still be estimating from it.
+  ServingSnapshot(std::string name,
+                  std::shared_ptr<const MappedCatalogEntry> mapped,
+                  uint64_t version)
+      : name_(std::move(name)),
+        mapped_(std::move(mapped)),
+        version_(version),
+        created_(std::chrono::steady_clock::now()) {}
 
   ServingSnapshot(const ServingSnapshot&) = delete;
   ServingSnapshot& operator=(const ServingSnapshot&) = delete;
@@ -96,17 +115,37 @@ class ServingSnapshot {
   /// a kept_stale entry's statistics are.
   std::chrono::steady_clock::time_point created() const { return created_; }
   /// \brief The label dictionary request paths parse against.
-  const LabelDictionary& labels() const { return loaded_.labels; }
+  const LabelDictionary& labels() const {
+    return mapped_ ? mapped_->labels() : loaded_->labels;
+  }
   /// \brief The immutable fast-path serving facade (thread-safe for any
   /// number of concurrent readers, each with its own RankScratch).
-  const Estimator& estimator() const { return serving_; }
+  const Estimator& estimator() const {
+    return mapped_ ? mapped_->estimator() : *serving_;
+  }
+
+  /// \brief True when this snapshot serves from an mmap'ed catalog v2.
+  bool is_mapped() const { return mapped_ != nullptr; }
+  /// \brief Bytes of the backing mapping (0 for the copied form).
+  size_t mapped_bytes() const {
+    return mapped_ ? mapped_->mapped_bytes() : 0;
+  }
+  /// \brief Heap bytes this snapshot owns: the full deserialized rows for
+  /// the copied form, only parsed metadata for the mapped form — the gap
+  /// is the zero-copy win `stats` reports per entry.
+  size_t resident_bytes() const {
+    return mapped_ ? mapped_->resident_bytes()
+                   : serving_->ResidentBytes();
+  }
 
  private:
   std::string name_;
-  LoadedPathHistogram loaded_;  // declared before serving_: it borrows this
+  // Exactly one of loaded_/mapped_ is engaged (the storage form).
+  std::optional<LoadedPathHistogram> loaded_;
+  std::shared_ptr<const MappedCatalogEntry> mapped_;
   uint64_t version_;
   std::chrono::steady_clock::time_point created_;
-  Estimator serving_;
+  std::optional<Estimator> serving_;  // copied form only; borrows loaded_
 };
 
 /// \brief Immutable registry state: entry name -> snapshot, plus the
@@ -171,8 +210,17 @@ struct SnapshotLoadResult {
 /// entry into the report (checksum/parse failures — the same contract as
 /// VerifyCatalogDir) and the rest still load; only an unreadable directory
 /// fails the whole call.
+///
+/// With a non-null `mmap_cache`, binary-v2 entries are served ZERO-COPY
+/// through the cache: an unchanged file re-pins its existing mapping (no
+/// bytes re-read, no re-verification), a changed one is mapped and
+/// admission-verified at the cache's tier. A v2 entry the cache rejects is
+/// quarantined exactly like a corrupt copied entry. Text and v1 entries
+/// always take the copying path.
 Result<SnapshotLoadResult> LoadCatalogSnapshots(const std::string& dir,
-                                                uint64_t version);
+                                                uint64_t version,
+                                                CatalogCache* mmap_cache =
+                                                    nullptr);
 
 }  // namespace serve
 }  // namespace pathest

@@ -9,6 +9,7 @@
 #define PATHEST_UTIL_COMBINATORICS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/status.h"
@@ -66,10 +67,34 @@ uint64_t MultisetPermutationCount(const Partition& parts);
 /// ordering (sum of all lower summed-rank partition sizes) is a single O(1)
 /// lookup instead of an O(sum) loop per query. The prefix build is
 /// overflow-checked (CheckedAdd).
+///
+/// Storage comes in two forms behind the same query interface: OWNED (the
+/// computing constructor fills one flat vector) and BORROWED (the Borrowed
+/// factory views caller-owned rows — in practice the composition section of
+/// a mapped binary catalog v2, core/serialize.h). Either way the rows live
+/// in one contiguous region per kind (counts, then prefix), m-major, which
+/// is exactly the on-disk layout, so the mapped form is pure pointer fixup.
 class CompositionTable {
  public:
   /// Precomputes counts for all m in [1, max_len], sum in [m, m*num_labels].
   CompositionTable(uint64_t num_labels, uint64_t max_len);
+
+  /// \brief Zero-copy form over caller-owned flat rows: `counts` holds the
+  /// m-major concatenation of Count(sum, m) rows (row m has
+  /// m*num_labels - m + 1 values), `prefix` the matching prefix rows (each
+  /// one longer). Shapes are checked; VALUES are not — callers on untrusted
+  /// bytes must verify first (core/mapped_catalog.h). The backing memory
+  /// must outlive the table and everything constructed over it.
+  static CompositionTable Borrowed(uint64_t num_labels, uint64_t max_len,
+                                   std::span<const uint64_t> counts,
+                                   std::span<const uint64_t> prefix);
+
+  // Moves keep the flat vector's heap allocation, so the per-m spans stay
+  // valid; copies would need re-pointing and nothing needs them — deleted.
+  CompositionTable(CompositionTable&&) noexcept = default;
+  CompositionTable& operator=(CompositionTable&&) noexcept = default;
+  CompositionTable(const CompositionTable&) = delete;
+  CompositionTable& operator=(const CompositionTable&) = delete;
 
   /// \brief CompositionCount(sum, m, num_labels()); 0 outside the table.
   uint64_t Count(uint64_t sum, uint64_t m) const;
@@ -80,7 +105,7 @@ class CompositionTable {
   /// Saturates: sums past the table's end return the total count for m.
   uint64_t CumulativeBelow(uint64_t sum, uint64_t m) const {
     PATHEST_CHECK(m >= 1 && m <= max_len_, "length out of table range");
-    const std::vector<uint64_t>& pre = prefix_[m - 1];
+    const std::span<const uint64_t> pre = prefix_[m - 1];
     if (sum <= m) return 0;
     const uint64_t i = sum - m;
     return pre[i < pre.size() ? i : pre.size() - 1];
@@ -94,14 +119,38 @@ class CompositionTable {
 
   uint64_t num_labels() const { return num_labels_; }
   uint64_t max_len() const { return max_len_; }
+  /// \brief False when the rows are borrowed views into caller memory.
+  bool owns_storage() const { return !owned_.empty() || counts_flat_.empty(); }
+
+  /// \brief The m-major flat count rows — what the catalog v2 writer
+  /// persists and the full-verify path compares against a rebuild.
+  std::span<const uint64_t> flat_counts() const { return counts_flat_; }
+  /// \brief The m-major flat prefix rows (row m is one value longer than
+  /// its count row).
+  std::span<const uint64_t> flat_prefix() const { return prefix_flat_; }
+
+  /// \brief Total values across all count rows for (num_labels, max_len) —
+  /// the one definition of the flat-row length shared by writer, readers,
+  /// and verifier.
+  static uint64_t FlatCountValues(uint64_t num_labels, uint64_t max_len);
 
  private:
-  uint64_t num_labels_;
-  uint64_t max_len_;
+  CompositionTable() = default;
+  // Carves the per-m row directories out of the flat regions.
+  void BuildRowViews();
+
+  uint64_t num_labels_ = 0;
+  uint64_t max_len_ = 0;
+  // Owned storage: counts region then prefix region, both m-major. Empty
+  // for the borrowed form.
+  std::vector<uint64_t> owned_;
+  // Flat views over the two regions (into owned_ or the caller's memory).
+  std::span<const uint64_t> counts_flat_;
+  std::span<const uint64_t> prefix_flat_;
   // rows_[m - 1][sum - m] for sum in [m, m * num_labels].
-  std::vector<std::vector<uint64_t>> rows_;
+  std::vector<std::span<const uint64_t>> rows_;
   // prefix_[m - 1][i] = sum of rows_[m - 1][0 .. i); one longer than rows_.
-  std::vector<std::vector<uint64_t>> prefix_;
+  std::vector<std::span<const uint64_t>> prefix_;
 };
 
 /// \brief Overflow-checked factorial table for (un)ranking hot paths.

@@ -1,0 +1,135 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pathest {
+
+namespace {
+
+FileId FileIdFromStat(const struct stat& st) {
+  FileId id;
+  id.device = static_cast<uint64_t>(st.st_dev);
+  id.inode = static_cast<uint64_t>(st.st_ino);
+  id.size = static_cast<uint64_t>(st.st_size);
+  id.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                st.st_mtim.tv_nsec;
+  return id;
+}
+
+Status ErrnoError(const std::string& what, const std::string& path) {
+  return Status::IOError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Result<FileId> StatFileId(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoError("cannot stat", path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  return FileIdFromStat(st);
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      id_(other.id_),
+      data_(other.data_),
+      size_(other.size_) {
+  other.path_.clear();
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, size_);
+    path_ = std::move(other.path_);
+    id_ = other.id_;
+    data_ = other.data_;
+    size_ = other.size_;
+    other.path_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+    return ErrnoError("cannot open", path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status status = ErrnoError("cannot fstat", path);
+    ::close(fd);
+    return status;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+
+  MappedFile file;
+  file.path_ = path;
+  file.id_ = FileIdFromStat(st);
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* data =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (data == MAP_FAILED) {
+      Status status = ErrnoError("cannot mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file.data_ = data;
+  }
+  // The mapping pins the file contents; the descriptor is no longer
+  // needed (and holding it would leak fds across a long-lived cache).
+  ::close(fd);
+  return file;
+}
+
+void MappedFile::Advise(Advice advice) const {
+  if (data_ == nullptr) return;
+  int native = MADV_NORMAL;
+  switch (advice) {
+    case Advice::kNormal:
+      native = MADV_NORMAL;
+      break;
+    case Advice::kRandom:
+      native = MADV_RANDOM;
+      break;
+    case Advice::kSequential:
+      native = MADV_SEQUENTIAL;
+      break;
+    case Advice::kWillNeed:
+      native = MADV_WILLNEED;
+      break;
+    case Advice::kDontNeed:
+      native = MADV_DONTNEED;
+      break;
+  }
+  (void)::madvise(data_, size_, native);
+}
+
+}  // namespace pathest

@@ -1,0 +1,87 @@
+// pathest: read-only memory-mapped files — the zero-copy substrate of the
+// binary catalog v2 serving path (core/mapped_catalog.h).
+//
+// A MappedFile is RAII over open + fstat + mmap(PROT_READ, MAP_PRIVATE):
+// the descriptor is closed immediately after mapping (the mapping keeps
+// the file alive), the pages fault in lazily as they are touched, and the
+// identity captured at open time (device, inode, size, mtime) lets a cache
+// decide whether a path still names the SAME bytes — the atomic-rename
+// publish of util/safe_io.h guarantees any content change lands under a
+// new inode, so an unchanged FileId means an unchanged mapping.
+//
+// The mapping is strictly read-only: PROT_READ faults any write, and
+// MAP_PRIVATE isolates the process from concurrent truncation-free
+// rewrites (which, again, never happen in place under AtomicFileWriter).
+
+#ifndef PATHEST_UTIL_MMAP_FILE_H_
+#define PATHEST_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pathest {
+
+/// \brief Identity of one file GENERATION: two opens of a path observe the
+/// same FileId iff they observed the same inode with the same size and
+/// mtime. Under the atomic temp+rename publish discipline every content
+/// change allocates a fresh inode, so FileId equality is a sound
+/// "unchanged since last open" test for catalog files.
+struct FileId {
+  uint64_t device = 0;
+  uint64_t inode = 0;
+  uint64_t size = 0;
+  int64_t mtime_ns = 0;
+
+  bool operator==(const FileId&) const = default;
+};
+
+/// \brief stat(2)s `path` into a FileId without opening or mapping it —
+/// the cheap "did this entry change?" probe of core/catalog_cache.h.
+Result<FileId> StatFileId(const std::string& path);
+
+/// \brief Read-only memory mapping of a whole file. Move-only RAII.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// \brief Opens and maps `path` read-only. The descriptor is closed
+  /// before returning; an empty file yields a valid zero-length mapping.
+  static Result<MappedFile> Open(const std::string& path);
+
+  bool valid() const { return size_ == 0 ? !path_.empty() : data_ != nullptr; }
+  const uint8_t* data() const { return static_cast<const uint8_t*>(data_); }
+  size_t size() const { return size_; }
+  /// \brief The mapped bytes as a string_view (what the catalog readers
+  /// consume — they are written against in-memory buffers and work
+  /// unchanged over a mapping).
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+  const std::string& path() const { return path_; }
+  /// \brief Identity captured by the fstat between open and mmap.
+  const FileId& id() const { return id_; }
+
+  enum class Advice { kNormal, kRandom, kSequential, kWillNeed, kDontNeed };
+  /// \brief madvise(2) forwarding; advisory, errors ignored by design.
+  void Advise(Advice advice) const;
+
+ private:
+  std::string path_;
+  FileId id_{};
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pathest
+
+#endif  // PATHEST_UTIL_MMAP_FILE_H_

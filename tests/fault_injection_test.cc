@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "core/catalog.h"
+#include "core/mapped_catalog.h"
 #include "core/serialize.h"
 #include "ordering/factory.h"
 #include "path/selectivity.h"
@@ -428,6 +429,212 @@ TEST_F(FaultInjectionTest, DegradedCatalogServesHealthyEntries) {
   EXPECT_EQ(verify->loaded, std::vector<std::string>{"good"});
   ASSERT_EQ(verify->failures.size(), 1u);
   EXPECT_EQ(verify->failures[0].section, "histogram");
+}
+
+// ===================== binary catalog v2 faults =====================
+//
+// The v2 format adds two byte classes v1 never had: INTER-SECTION padding
+// (the gap that rounds each section offset up to a page boundary — outside
+// every CRC, never read) and INTERIOR alignment padding (the gap that
+// rounds each array offset up to 64 within a payload — inside the payload
+// CRC). The suite proves the first is ignorable and the second is guarded,
+// and that truncation is typed at every page-boundary edge.
+
+class FaultInjectionV2Test : public FaultInjectionTest {
+ protected:
+  std::string ValidImageV2(const std::string& method = "sum-based") {
+    PathHistogram est = BuildEstimator(method, 6);
+    std::vector<uint64_t> cards;
+    for (LabelId l = 0; l < graph_.num_labels(); ++l) {
+      cards.push_back(graph_.LabelCardinality(l));
+    }
+    std::string bytes;
+    PATHEST_CHECK(
+        WritePathHistogramBinaryV2(est, graph_.labels(), cards, &bytes).ok(),
+        "v2 write failed");
+    return bytes;
+  }
+
+  void ExpectTypedFailureV2(const std::string& image,
+                            const std::string& what) {
+    auto loaded = ReadPathHistogramBinaryV2(image);
+    ASSERT_FALSE(loaded.ok()) << what << ": corrupt v2 image loaded cleanly";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIOError)
+        << what << ": " << loaded.status().ToString();
+    EXPECT_FALSE(loaded.status().message().empty()) << what;
+  }
+
+  // Full-domain estimates of an image — the bit-level identity anchor.
+  std::vector<double> AllEstimates(const LoadedPathHistogram& loaded) {
+    std::vector<double> out;
+    PathSpace space(graph_.num_labels(), 3);
+    space.ForEach(
+        [&](const LabelPath& p) { out.push_back(loaded.estimator.Estimate(p)); });
+    return out;
+  }
+};
+
+TEST_F(FaultInjectionV2Test, TruncationAtEveryPageBoundaryEdgeFailsTyped) {
+  const std::string image = ValidImageV2();
+  ASSERT_GT(image.size(), 2 * binfmt::kPageBytes)
+      << "need a multi-page image for the boundary sweep";
+  // Every p-1 / p / p+1 around every page multiple: the edges where a
+  // torn write of an aligned format would land.
+  size_t swept = 0;
+  for (size_t page = binfmt::kPageBytes; page < image.size() + 1;
+       page += binfmt::kPageBytes) {
+    for (size_t cut : {page - 1, page, page + 1}) {
+      if (cut >= image.size()) continue;
+      ExpectTypedFailureV2(image.substr(0, cut),
+                           "truncate to " + std::to_string(cut));
+      ++swept;
+    }
+  }
+  ASSERT_GT(swept, 6u);
+  // Header at byte granularity plus a coarse whole-file sweep.
+  for (size_t cut = 0; cut <= binfmt::kHeaderBytes; ++cut) {
+    ExpectTypedFailureV2(image.substr(0, cut),
+                         "truncate to " + std::to_string(cut));
+  }
+  for (size_t cut = 0; cut < image.size(); cut += 61) {
+    ExpectTypedFailureV2(image.substr(0, cut),
+                         "truncate to " + std::to_string(cut));
+  }
+  // The mmap loader honors the same contract from disk.
+  const std::string path = (dir_ / "trunc.stats").string();
+  ASSERT_TRUE(
+      WriteFileBytes(path, image.substr(0, image.size() - 1)).ok());
+  auto mapped = MappedCatalogEntry::Open(path, CatalogVerify::kChecksums);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(FaultInjectionV2Test, PaddingFlipsIgnoredOutsideCrcsCaughtInside) {
+  const std::string image = ValidImageV2();
+  auto sections = ParseBinarySectionTable(image);
+  ASSERT_TRUE(sections.ok());
+  ASSERT_EQ(sections->size(), 6u);  // sum-based carries all six in v2
+  auto baseline = ReadPathHistogramBinaryV2(image);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  const std::vector<double> expect = AllEstimates(*baseline);
+
+  // Inter-section padding — [end of payload i, offset of section i+1) and
+  // the gap between the section table and the first section — is outside
+  // every CRC and never read: flips there must be PROVABLY ignored (the
+  // file still passes the strictest tier and serves bit-identical
+  // estimates).
+  std::vector<std::pair<size_t, size_t>> gaps;
+  gaps.emplace_back(
+      binfmt::kHeaderBytes + sections->size() * binfmt::kSectionEntryBytes,
+      (*sections)[0].offset);
+  for (size_t i = 0; i + 1 < sections->size(); ++i) {
+    gaps.emplace_back((*sections)[i].offset + (*sections)[i].length,
+                      (*sections)[i + 1].offset);
+  }
+  size_t padding_flips = 0;
+  for (const auto& [lo, hi] : gaps) {
+    ASSERT_LE(lo, hi);
+    if (lo == hi) continue;  // a payload that ended exactly on a page
+    for (size_t at : {lo, (lo + hi) / 2, hi - 1}) {
+      for (int bit : {0, 7}) {
+        std::string corrupt = image;
+        ASSERT_TRUE(FlipBit(&corrupt, at, bit).ok());
+        auto loaded = ReadPathHistogramBinaryV2(corrupt);
+        ASSERT_TRUE(loaded.ok())
+            << "padding flip at " << at << " rejected: "
+            << loaded.status().ToString();
+        EXPECT_EQ(AllEstimates(*loaded), expect)
+            << "padding flip at " << at << " changed an estimate";
+        ++padding_flips;
+      }
+    }
+  }
+  ASSERT_GT(padding_flips, 0u) << "no inter-section padding to sweep";
+
+  // Interior alignment padding — the [prolog end, first array) gap inside
+  // the histogram and composition payloads — is INSIDE the payload CRC:
+  // a flip there must be detected even though no parser ever reads it.
+  for (const BinarySectionInfo& s : *sections) {
+    if (s.id != binfmt::kSectionHistogram &&
+        s.id != binfmt::kSectionComposition) {
+      continue;
+    }
+    ASSERT_GT(s.length, binfmt::kArrayAlignBytes);
+    // Prologs are 16 bytes; arrays start at the 64-byte mark.
+    for (size_t in_payload : {size_t{16}, size_t{40},
+                              size_t{binfmt::kArrayAlignBytes - 1}}) {
+      std::string corrupt = image;
+      ASSERT_TRUE(FlipBit(&corrupt, s.offset + in_payload, 3).ok());
+      ExpectTypedFailureV2(corrupt,
+                           std::string("interior padding flip in ") +
+                               binfmt::SectionName(s.id));
+    }
+  }
+}
+
+TEST_F(FaultInjectionV2Test, CrashedV2SaveLeavesV1FileByteIdentical) {
+  // The upgrade story: converting a v1 entry to v2 in place crashes at
+  // every stage — the published v1 file must stay byte-identical and
+  // loadable, with no temp debris.
+  const std::string path = (dir_ / "upgrade.stats").string();
+  const std::string v1_image = ValidImage("sum-based");
+  ASSERT_TRUE(AtomicWriteFile(path, v1_image).ok());
+  auto loaded = LoadPathHistogram(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const std::vector<double> expect = AllEstimates(*loaded);
+
+  for (size_t fail_at :
+       {size_t{0}, size_t{1}, size_t{17}, binfmt::kPageBytes,
+        binfmt::kPageBytes + 1}) {
+    ScriptedWriteFaults faults;
+    faults.fail_write_at_byte = fail_at;
+    ScriptedWriteFaults::Install install(&faults);
+    Status st =
+        SaveLoadedPathHistogram(*loaded, path, CatalogFormat::kBinaryV2);
+    ASSERT_FALSE(st.ok()) << "fail_at=" << fail_at;
+    EXPECT_EQ(st.code(), StatusCode::kIOError);
+  }
+  {
+    ScriptedWriteFaults faults;
+    faults.fail_sync = true;
+    ScriptedWriteFaults::Install install(&faults);
+    EXPECT_FALSE(
+        SaveLoadedPathHistogram(*loaded, path, CatalogFormat::kBinaryV2)
+            .ok());
+  }
+  {
+    ScriptedWriteFaults faults;
+    faults.fail_rename = true;
+    ScriptedWriteFaults::Install install(&faults);
+    EXPECT_FALSE(
+        SaveLoadedPathHistogram(*loaded, path, CatalogFormat::kBinaryV2)
+            .ok());
+  }
+
+  // Byte-identical v1, still sniffs as v1, still loads, no debris.
+  auto bytes = ReadFileBytes(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, v1_image);
+  auto format = SniffCatalogFormat(path);
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(*format, CatalogFormat::kBinary);
+  size_t files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  // With the injector gone the conversion lands, and the v2 file serves
+  // the exact same estimates.
+  ASSERT_TRUE(
+      SaveLoadedPathHistogram(*loaded, path, CatalogFormat::kBinaryV2).ok());
+  format = SniffCatalogFormat(path);
+  ASSERT_TRUE(format.ok());
+  EXPECT_EQ(*format, CatalogFormat::kBinaryV2);
+  auto v2 = LoadPathHistogram(path);
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(AllEstimates(*v2), expect);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 // estimate preservation, and corruption handling.
 
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -13,6 +14,7 @@
 #include "ordering/factory.h"
 #include "path/selectivity.h"
 #include "test_util.h"
+#include "util/combinatorics.h"
 
 namespace pathest {
 namespace {
@@ -247,6 +249,111 @@ TEST_P(BinaryRoundTripTest, TextThenBinaryPreservesEveryEstimateBitExact) {
   });
 }
 
+TEST_P(BinaryRoundTripTest, V2RoundTripPreservesEveryEstimateBitExact) {
+  const auto& [method, k] = GetParam();
+  Graph graph = SmallGraph();
+  auto map = ComputeSelectivities(graph, k);
+  ASSERT_TRUE(map.ok());
+  auto ordering = MakeOrdering(method, graph, k);
+  ASSERT_TRUE(ordering.ok());
+  auto original = PathHistogram::Build(*map, std::move(*ordering),
+                                       HistogramType::kVOptimal, 5);
+  ASSERT_TRUE(original.ok());
+  std::vector<uint64_t> cards;
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    cards.push_back(graph.LabelCardinality(l));
+  }
+
+  std::string v2;
+  ASSERT_TRUE(WritePathHistogramBinaryV2(*original, graph.labels(), cards,
+                                         &v2)
+                  .ok());
+  ASSERT_TRUE(BytesAreBinaryV2(v2));
+  ASSERT_TRUE(LooksLikeBinaryCatalog(v2));
+  // The full-verify copying reader (also what the format-sniffing
+  // dispatchers route v2 bytes to).
+  auto loaded = ReadPathHistogramBinaryV2(v2);
+  ASSERT_TRUE(loaded.ok()) << method << " k=" << k << ": "
+                           << loaded.status().ToString();
+  const std::string canonical = method == "sum-card" ? "sum-based" : method;
+  EXPECT_EQ(loaded->estimator.ordering().name(), canonical);
+  EXPECT_EQ(loaded->labels.names(), graph.labels().names());
+  EXPECT_EQ(loaded->label_cardinalities, cards);
+  PathSpace space(graph.num_labels(), k);
+  space.ForEach([&](const LabelPath& p) {
+    EXPECT_EQ(loaded->estimator.Estimate(p), original->Estimate(p))
+        << method << " k=" << k << " " << p.ToIdString();
+  });
+
+  // Writing the same estimator twice must produce identical bytes — the
+  // golden test, the fault suite, and convert idempotence all rest on
+  // deterministic serialization.
+  std::string again;
+  ASSERT_TRUE(WritePathHistogramBinaryV2(*original, graph.labels(), cards,
+                                         &again)
+                  .ok());
+  EXPECT_EQ(v2, again);
+}
+
+TEST_P(BinaryRoundTripTest, V2SectionsArePageAlignedWithExactLayouts) {
+  const auto& [method, k] = GetParam();
+  Graph graph = SmallGraph();
+  auto map = ComputeSelectivities(graph, k);
+  ASSERT_TRUE(map.ok());
+  auto ordering = MakeOrdering(method, graph, k);
+  ASSERT_TRUE(ordering.ok());
+  auto est = PathHistogram::Build(*map, std::move(*ordering),
+                                  HistogramType::kVOptimal, 5);
+  ASSERT_TRUE(est.ok());
+  std::vector<uint64_t> cards;
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    cards.push_back(graph.LabelCardinality(l));
+  }
+  std::string v2;
+  ASSERT_TRUE(
+      WritePathHistogramBinaryV2(*est, graph.labels(), cards, &v2).ok());
+
+  // Walk the section table by hand against the layout helpers — the same
+  // helpers the readers use, so this pins writer/reader agreement AND the
+  // alignment contract `catalog verify` reports as aligned=yes.
+  const auto* bytes = reinterpret_cast<const unsigned char*>(v2.data());
+  uint32_t section_count;
+  std::memcpy(&section_count, bytes + 12, 4);
+  const bool sum_family = method.rfind("sum", 0) == 0;
+  ASSERT_EQ(section_count, sum_family ? 6u : 4u);
+  uint64_t file_size;
+  std::memcpy(&file_size, bytes + 16, 8);
+  EXPECT_EQ(file_size, v2.size());
+
+  const uint64_t beta = est->histogram().num_buckets();
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const size_t at = binfmt::kHeaderBytes + i * binfmt::kSectionEntryBytes;
+    uint32_t id;
+    uint64_t offset, length;
+    std::memcpy(&id, bytes + at, 4);
+    std::memcpy(&offset, bytes + at + 8, 8);
+    std::memcpy(&length, bytes + at + 16, 8);
+    EXPECT_EQ(offset % binfmt::kPageBytes, 0u) << "section " << id;
+    if (id == binfmt::kSectionHistogram) {
+      EXPECT_EQ(length, binfmt::HistogramLayout(beta).payload_bytes);
+    } else if (id == binfmt::kSectionComposition) {
+      EXPECT_EQ(length,
+                binfmt::CompositionLayout(
+                    CompositionTable::FlatCountValues(graph.num_labels(), k),
+                    k)
+                    .payload_bytes);
+    }
+  }
+  // Trailing padding never exceeds a page (the writer pads each section
+  // start, not the file end — the last section ends the file exactly).
+  uint64_t last_offset, last_length;
+  const size_t last = binfmt::kHeaderBytes +
+                      (section_count - 1) * binfmt::kSectionEntryBytes;
+  std::memcpy(&last_offset, bytes + last + 8, 8);
+  std::memcpy(&last_length, bytes + last + 16, 8);
+  EXPECT_EQ(last_offset + last_length, v2.size());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllOrderingsAllK, BinaryRoundTripTest,
     ::testing::Combine(
@@ -312,6 +419,96 @@ TEST(GoldenBinaryCatalog, V1LayoutIsPinned) {
   space.ForEach([&](const LabelPath& p) {
     EXPECT_EQ(loaded->estimator.Estimate(p), est->Estimate(p));
   });
+}
+
+// Same pin for v2 — its layout additionally carries the serving rows and
+// the stage-3 index, so drift here silently breaks mapped catalogs.
+TEST(GoldenBinaryCatalog, V2LayoutIsPinned) {
+  const std::string path =
+      std::string(PATHEST_SOURCE_DIR) + "/tests/golden/catalog_v2.stats";
+  Graph graph = SmallGraph();
+  auto map = ComputeSelectivities(graph, 3);
+  ASSERT_TRUE(map.ok());
+  auto ordering = MakeOrdering("sum-based", graph, 3);
+  ASSERT_TRUE(ordering.ok());
+  auto est = PathHistogram::Build(*map, std::move(*ordering),
+                                  HistogramType::kVOptimal, 6);
+  ASSERT_TRUE(est.ok());
+  std::vector<uint64_t> cards;
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    cards.push_back(graph.LabelCardinality(l));
+  }
+  std::string current;
+  ASSERT_TRUE(
+      WritePathHistogramBinaryV2(*est, graph.labels(), cards, &current)
+          .ok());
+
+  if (std::getenv("PATHEST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << path;
+    out.write(current.data(), static_cast<std::streamsize>(current.size()));
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " missing — run with PATHEST_REGEN_GOLDEN=1 to create";
+  std::string golden((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(current, golden) << "binary catalog layout drifted from v2 — "
+                                "if intentional, bump binfmt::kVersionV2";
+  auto loaded = ReadPathHistogramBinaryV2(golden);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  PathSpace space(graph.num_labels(), 3);
+  space.ForEach([&](const LabelPath& p) {
+    EXPECT_EQ(loaded->estimator.Estimate(p), est->Estimate(p));
+  });
+}
+
+TEST(SniffBinaryV2, DistinguishesFormatsWithoutSlurping) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "pathest_sniff_test";
+  fs::create_directories(dir);
+  Graph graph = SmallGraph();
+  auto map = ComputeSelectivities(graph, 2);
+  ASSERT_TRUE(map.ok());
+  auto ordering = MakeOrdering("sum-based", graph, 2);
+  ASSERT_TRUE(ordering.ok());
+  auto est = PathHistogram::Build(*map, std::move(*ordering),
+                                  HistogramType::kVOptimal, 4);
+  ASSERT_TRUE(est.ok());
+
+  const std::string text = (dir / "a.stats").string();
+  const std::string v1 = (dir / "b.stats").string();
+  const std::string v2 = (dir / "c.stats").string();
+  ASSERT_TRUE(
+      SavePathHistogram(*est, graph, text, CatalogFormat::kText).ok());
+  ASSERT_TRUE(
+      SavePathHistogram(*est, graph, v1, CatalogFormat::kBinary).ok());
+  ASSERT_TRUE(
+      SavePathHistogram(*est, graph, v2, CatalogFormat::kBinaryV2).ok());
+  auto sniff = [](const std::string& p) {
+    auto r = SniffFileIsBinaryV2(p);
+    PATHEST_CHECK(r.ok(), "sniff failed");
+    return *r;
+  };
+  EXPECT_FALSE(sniff(text));
+  EXPECT_FALSE(sniff(v1));
+  EXPECT_TRUE(sniff(v2));
+  // Short file: not an error, just not v2.
+  const std::string stub = (dir / "short").string();
+  { std::ofstream(stub) << "ab"; }
+  EXPECT_FALSE(sniff(stub));
+  EXPECT_EQ(SniffFileIsBinaryV2((dir / "missing").string()).status().code(),
+            StatusCode::kNotFound);
+  // Every format loads through the sniffing dispatcher.
+  for (const std::string& p : {text, v1, v2}) {
+    auto loaded = LoadPathHistogram(p);
+    ASSERT_TRUE(loaded.ok()) << p << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded->estimator.ordering().name(), "sum-based");
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

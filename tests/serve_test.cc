@@ -196,17 +196,18 @@ class ServeTest : public ::testing::Test {
   // the reload tests tell catalog versions apart.
   std::filesystem::path WriteEntry(const std::filesystem::path& dir,
                                    const std::string& name, size_t beta,
-                                   HistogramType type) {
+                                   HistogramType type,
+                                   CatalogFormat format =
+                                       CatalogFormat::kBinary) {
     std::filesystem::create_directories(dir);
     auto ordering = MakeOrdering("sum-based", graph_, 3);
     PATHEST_CHECK(ordering.ok(), "ordering failed");
     auto est = PathHistogram::Build(*truth_, std::move(*ordering), type, beta);
     PATHEST_CHECK(est.ok(), "estimator build failed");
     const std::filesystem::path file = dir / (name + ".stats");
-    PATHEST_CHECK(SavePathHistogram(*est, graph_, file.string(),
-                                    CatalogFormat::kBinary)
-                      .ok(),
-                  "save failed");
+    PATHEST_CHECK(
+        SavePathHistogram(*est, graph_, file.string(), format).ok(),
+        "save failed");
     return file;
   }
 
@@ -280,6 +281,79 @@ TEST_F(ServeTest, ServesEstimatesBitIdenticalToSerialOracle) {
   EXPECT_EQ(*bye, "ok draining");
   server.Wait();
   EXPECT_GE(server.counters().requests.load(), 3u);
+}
+
+TEST_F(ServeTest, MappedV2EntriesServeBitIdenticalAndRepinOnReload) {
+  // One binary-v2 entry (served zero-copy through the mmap cache) next to
+  // one v1 entry (copying load): both must answer bit-identically to the
+  // serial oracle, stats must tell the storage forms apart, and a reload
+  // of unchanged files must RE-PIN the v2 mapping (a cache hit) rather
+  // than re-read it.
+  const auto v2_file = WriteEntry(root_ / "cat", "zed", 6,
+                                  HistogramType::kVOptimal,
+                                  CatalogFormat::kBinaryV2);
+  const auto v1_file =
+      WriteEntry(root_ / "cat", "old", 4, HistogramType::kEquiWidth);
+  const std::vector<std::string> paths = {"a", "a/b", "a/b/c", "c"};
+  const std::string v2_oracle = OracleResponse(v2_file, paths);
+  const std::string v1_oracle = OracleResponse(v1_file, paths);
+
+  ServeServer server(BaseOptions(root_ / "cat"));
+  ASSERT_TRUE(server.Start().ok());
+  {
+    const auto state = server.registry_state();
+    ASSERT_EQ(state->entries.size(), 2u);
+    const auto& zed = state->entries.at("zed");
+    const auto& old = state->entries.at("old");
+    EXPECT_TRUE(zed->is_mapped());
+    EXPECT_GT(zed->mapped_bytes(), 0u);
+    EXPECT_LT(zed->resident_bytes(), zed->mapped_bytes());
+    EXPECT_FALSE(old->is_mapped());
+    EXPECT_EQ(old->mapped_bytes(), 0u);
+    EXPECT_GT(old->resident_bytes(), 0u);
+  }
+
+  ServeClient client = Connect(server);
+  auto v2_resp = client.Call("estimate zed a a/b a/b/c c");
+  ASSERT_TRUE(v2_resp.ok());
+  EXPECT_EQ(*v2_resp, v2_oracle);
+  auto v1_resp = client.Call("estimate old a a/b a/b/c c");
+  ASSERT_TRUE(v1_resp.ok());
+  EXPECT_EQ(*v1_resp, v1_oracle);
+
+  auto stats = client.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"mapped\":true"), std::string::npos);
+  EXPECT_NE(stats->find("\"mapped\":false"), std::string::npos);
+  EXPECT_NE(stats->find("\"mmap_cache\":{\"entries\":1"), std::string::npos);
+
+  // Unchanged files: the reload's v2 open must be a hit on the same
+  // mapping, and estimates stay bit-identical afterwards.
+  auto reload = client.Call("reload");
+  ASSERT_TRUE(reload.ok());
+  EXPECT_EQ(reload->rfind("ok loaded=2", 0), 0u) << *reload;
+  stats = client.Call("stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"hits\":1"), std::string::npos) << *stats;
+  v2_resp = client.Call("estimate zed a a/b a/b/c c");
+  ASSERT_TRUE(v2_resp.ok());
+  EXPECT_EQ(*v2_resp, v2_oracle);
+
+  // A REWRITTEN v2 file is a new generation: reload swaps it in (a miss,
+  // not a hit) and serving follows the new bytes.
+  WriteEntry(root_ / "cat", "zed", 9, HistogramType::kVOptimal,
+             CatalogFormat::kBinaryV2);
+  const std::string new_oracle =
+      OracleResponse(root_ / "cat" / "zed.stats", paths);
+  reload = client.Call("reload");
+  ASSERT_TRUE(reload.ok());
+  v2_resp = client.Call("estimate zed a a/b a/b/c c");
+  ASSERT_TRUE(v2_resp.ok());
+  EXPECT_EQ(*v2_resp, new_oracle);
+
+  auto bye = client.Call("shutdown");
+  ASSERT_TRUE(bye.ok());
+  server.Wait();
 }
 
 TEST_F(ServeTest, FatalErrorsAreTypedAndKeepTheConnectionOpen) {
